@@ -1,0 +1,24 @@
+"""Table III: area and energy estimation for 65 nm, 1.0 V, 1 GHz.
+
+Regenerates the per-design router area (mm^2) and buffer/crossbar energy
+(pJ/flit) table from the analytic models in :mod:`repro.energy`.
+
+Shape targets: bufferless designs smallest and buffer-energy-free;
+DXbar = 1.33x Flit-BLESS area, Unified = 1.25x; Buffered-8 largest.
+"""
+
+from repro.analysis.experiments import table3
+
+
+def test_table3_area_energy(benchmark, record_figure):
+    fig = benchmark.pedantic(table3, rounds=1, iterations=1)
+    record_figure(fig)
+
+    area = dict(zip(fig.x, fig.series["area_mm2"]))
+    buf = dict(zip(fig.x, fig.series["buffer_energy_pj_per_flit"]))
+    # Paper orderings.
+    assert area["Flit-Bless"] == area["SCARAB"] == min(area.values())
+    assert area["Buffered 4"] < area["DXbar"] < area["Buffered 8"]
+    assert area["Unified Xbar"] < area["DXbar"]
+    assert buf["Flit-Bless"] == buf["SCARAB"] == 0.0
+    assert buf["Buffered 8"] > buf["Buffered 4"]

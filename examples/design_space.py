@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Design-space exploration with the DXbar ablation knobs.
+
+Explores the design decisions DESIGN.md calls out:
+
+* fairness-counter threshold (the paper picked 4 after testing patterns);
+* side-buffer depth (4 in the paper; deeper buffers trade Table III area
+  and energy for saturation throughput);
+* dual-crossbar (DXbar) vs unified dual-input single crossbar — same
+  dataflow, different allocator and 2 pJ/flit crossbar cost.
+
+Usage::
+
+    python examples/design_space.py [--load 0.5] [--pattern UR]
+"""
+
+import argparse
+
+from repro import SimConfig, run_simulation
+from repro.analysis import render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--load", type=float, default=0.5)
+    parser.add_argument("--pattern", default="UR")
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args()
+
+    measure = 800 if args.quick else 1600
+    base = SimConfig(
+        pattern=args.pattern,
+        offered_load=args.load,
+        warmup_cycles=400,
+        measure_cycles=measure,
+        drain_cycles=0,
+        seed=21,
+    )
+
+    print("-- fairness threshold (paper value: 4) --")
+    rows = []
+    for threshold in (1, 2, 4, 8, 64):
+        r = run_simulation(base.with_(design="dxbar_dor", fairness_threshold=threshold))
+        rows.append(
+            [threshold, r.accepted_load, r.avg_flit_latency, r.fairness_flips]
+        )
+    print(render_table(["threshold", "accepted", "latency", "flips"], rows))
+
+    print("\n-- side-buffer depth (paper value: 4) --")
+    rows = []
+    for depth in (2, 4, 8, 16):
+        r = run_simulation(base.with_(design="dxbar_dor", buffer_depth=depth))
+        rows.append([depth, r.accepted_load, r.avg_flit_latency, r.buffered_fraction])
+    print(render_table(["depth", "accepted", "latency", "buffered frac"], rows))
+
+    print("\n-- dual crossbar vs unified dual-input crossbar --")
+    rows = []
+    for design in ("dxbar_dor", "unified_dor", "dxbar_wf", "unified_wf"):
+        r = run_simulation(base.with_(design=design))
+        rows.append(
+            [
+                design,
+                r.accepted_load,
+                r.avg_flit_latency,
+                r.energy_per_packet_nj,
+                r.allocator_swaps,
+            ]
+        )
+    print(
+        render_table(
+            ["design", "accepted", "latency", "energy nJ/pkt", "allocator swaps"], rows
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

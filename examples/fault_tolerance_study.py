@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Fault-tolerance study (Section III.E of the paper).
+
+Injects permanent crossbar faults into an increasing fraction of DXbar
+routers (up to 100% == one dead crossbar in every router), lets the 5-cycle
+BIST detection fire, and measures how throughput, latency and power degrade
+for both DOR and West-First routing.
+
+The paper's finding — reproduced here — is that the dual crossbar tolerates
+even total single-crossbar failure with modest throughput loss, and that
+DOR holds up better than adaptive WF as faults accumulate.
+
+Usage::
+
+    python examples/fault_tolerance_study.py [--load 0.5] [--quick]
+"""
+
+import argparse
+
+from repro import FaultConfig, SimConfig, run_simulation
+from repro.analysis import render_table
+from repro.designs import DESIGN_LABELS
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--load", type=float, default=0.5, help="offered load")
+    parser.add_argument("--quick", action="store_true", help="shorter runs")
+    args = parser.parse_args()
+
+    measure = 800 if args.quick else 2000
+    base = SimConfig(
+        pattern="UR",
+        offered_load=args.load,
+        warmup_cycles=500,
+        measure_cycles=measure,
+        drain_cycles=0,
+        seed=9,
+    )
+
+    rows = []
+    for design in ("dxbar_dor", "dxbar_wf"):
+        healthy = None
+        for pct in (0, 25, 50, 75, 100):
+            cfg = base.with_(
+                design=design,
+                faults=FaultConfig(percent=pct, manifest_window=400),
+            )
+            r = run_simulation(cfg)
+            if healthy is None:
+                healthy = r.accepted_load
+            rows.append(
+                [
+                    DESIGN_LABELS[design],
+                    pct,
+                    r.accepted_load,
+                    100.0 * (1.0 - r.accepted_load / healthy),
+                    r.avg_flit_latency,
+                    r.energy_per_packet_nj,
+                    r.fault_reconfigurations,
+                ]
+            )
+
+    print(f"crossbar faults under UR traffic at offered load {args.load}\n")
+    print(
+        render_table(
+            [
+                "design",
+                "faults %",
+                "accepted",
+                "degradation %",
+                "latency (cy)",
+                "energy (nJ/pkt)",
+                "reconfigs",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nEvery faulty router reconfigures through its 2x2 steering switches "
+        "into buffered mode\non the surviving crossbar — the network never "
+        "loses connectivity."
+    )
+
+
+if __name__ == "__main__":
+    main()

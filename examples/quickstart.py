@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Quickstart: simulate the DXbar router against the buffered baseline.
+
+Runs an 8x8 mesh under uniform-random traffic at a moderate load and prints
+the headline comparison the paper makes: DXbar's latency and energy
+advantage over a generic input-buffered router, plus where both designs
+saturate.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import SimConfig, run_simulation
+from repro.analysis import saturation_point, sweep_loads
+from repro.designs import DESIGN_LABELS
+
+
+def main() -> None:
+    base = SimConfig(
+        pattern="UR",
+        warmup_cycles=400,
+        measure_cycles=1200,
+        drain_cycles=400,
+        seed=42,
+    )
+
+    print("-- single runs at offered load 0.25 --")
+    for design in ("buffered4", "dxbar_dor"):
+        result = run_simulation(base.with_(design=design, offered_load=0.25))
+        print(
+            f"{DESIGN_LABELS[design]:11s} "
+            f"latency={result.avg_flit_latency:6.1f} cycles  "
+            f"energy={result.energy_per_packet_nj:5.2f} nJ/packet  "
+            f"accepted={result.accepted_load:.3f}"
+        )
+
+    print("\n-- saturation points (load sweep) --")
+    loads = [0.1, 0.2, 0.3, 0.4, 0.5]
+    for design in ("buffered4", "buffered8", "dxbar_dor"):
+        sweep = sweep_loads(design, loads, base=base)
+        sat = saturation_point(sweep.loads, sweep.accepted)
+        print(f"{DESIGN_LABELS[design]:11s} saturates at offered load ~{sat:.2f}")
+
+    print(
+        "\nDXbar routes flits in a single SA/ST cycle through its bufferless "
+        "primary crossbar and\nside-buffers only arbitration losers — lower "
+        "latency than the buffered baseline, lower\nenergy than both the "
+        "baseline and deflection networks."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Per-node fairness analysis (Section II.A.2's motivation, quantified).
+
+Age-based arbitration lets edge-injected flits (already old when they reach
+the center) perpetually beat the flits center nodes try to inject; the
+paper's fairness counter exists to stop that starvation.  These helpers
+quantify it: Jain's fairness index over per-node service and the
+center-vs-edge throughput ratio, for any finished simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..sim.engine import Simulator
+from ..sim.config import SimConfig
+from ..sim.topology import Mesh
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: 1.0 = perfectly equal, 1/n = one node takes
+    everything.  Defined for non-negative service values."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("empty value sequence")
+    if any(v < 0 for v in vals):
+        raise ValueError("service values must be non-negative")
+    total = sum(vals)
+    if total == 0:
+        return 1.0  # nobody served anybody: vacuously equal
+    squares = sum(v * v for v in vals)
+    return (total * total) / (len(vals) * squares)
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """Per-node injection-service fairness of one run."""
+
+    jain_injection: float
+    center_edge_ratio: float  # mean center-node injections / mean edge-node
+    per_node_injected: tuple
+
+    def summary(self) -> str:
+        return (
+            f"Jain={self.jain_injection:.3f} "
+            f"center/edge={self.center_edge_ratio:.2f}"
+        )
+
+
+def injection_fairness(sim: Simulator, ring: int = 2) -> FairnessReport:
+    """Analyse a *finished* simulator's per-node injection service.
+
+    ``ring`` defines the center region (see :meth:`Mesh.is_center`).
+    """
+    mesh = sim.network.mesh
+    injected = sim.stats.per_node_entries
+    center = [injected[n] for n in mesh.nodes() if mesh.is_center(n, ring)]
+    edge = [injected[n] for n in mesh.nodes() if not mesh.is_center(n, ring)]
+    center_mean = sum(center) / len(center) if center else 0.0
+    edge_mean = sum(edge) / len(edge) if edge else 0.0
+    ratio = center_mean / edge_mean if edge_mean > 0 else 1.0
+    return FairnessReport(
+        jain_injection=jain_index(injected),
+        center_edge_ratio=ratio,
+        per_node_injected=tuple(injected),
+    )
+
+
+def fairness_ablation(
+    load: float = 0.5,
+    thresholds: Sequence[int] = (1, 4, 1_000_000),
+    base: SimConfig = None,
+) -> dict:
+    """Run DXbar at ``load`` with different fairness thresholds and report
+    the per-node injection fairness of each (threshold 1e6 ~= counter off)."""
+    base = base or SimConfig(
+        pattern="UR",
+        offered_load=load,
+        warmup_cycles=300,
+        measure_cycles=1200,
+        drain_cycles=0,
+        seed=7,
+    )
+    out = {}
+    for t in thresholds:
+        sim = Simulator(base.with_(design="dxbar_dor", fairness_threshold=t))
+        sim.run()
+        out[t] = injection_fairness(sim)
+    return out

@@ -1,0 +1,81 @@
+"""Derived metrics over sweep results.
+
+The key one is the *saturation point*: the offered load beyond which the
+network stops accepting what is offered.  The paper quotes saturation
+points to compare designs ("DXbar DOR ... has a saturation point at over
+0.4"); we use the standard definition — the smallest offered load at which
+accepted throughput falls below ``threshold`` of offered — refined by
+linear interpolation between grid points.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def saturation_point(
+    loads: Sequence[float],
+    accepted: Sequence[float],
+    threshold: float = 0.95,
+) -> float:
+    """Offered load at which accepted < threshold * offered.
+
+    Returns the last grid load when the network never saturates in range.
+    """
+    if len(loads) != len(accepted):
+        raise ValueError("loads and accepted must have equal length")
+    if not loads:
+        raise ValueError("empty sweep")
+    if not (0.0 < threshold <= 1.0):
+        raise ValueError("threshold must be in (0, 1]")
+    prev_load, prev_acc = 0.0, 0.0
+    for load, acc in zip(loads, accepted):
+        if load > 0 and acc < threshold * load:
+            # Interpolate where acc(x) crosses threshold*x between the
+            # previous and current grid point.
+            lo, hi = prev_load, load
+            f_lo = prev_acc - threshold * prev_load
+            f_hi = acc - threshold * load
+            if f_lo <= 0.0 or f_hi == f_lo:
+                return load
+            t = f_lo / (f_lo - f_hi)
+            return lo + t * (hi - lo)
+        prev_load, prev_acc = load, acc
+    return float(loads[-1])
+
+
+def peak_accepted(accepted: Sequence[float]) -> float:
+    """Highest accepted load seen across the sweep (plateau height)."""
+    if not accepted:
+        raise ValueError("empty sweep")
+    return max(accepted)
+
+
+def normalize(values: Dict[str, float], baseline: str) -> Dict[str, float]:
+    """Divide every value by the baseline's (Fig 9's normalisation)."""
+    if baseline not in values:
+        raise KeyError(f"baseline {baseline!r} missing from {sorted(values)}")
+    denom = values[baseline]
+    if denom == 0:
+        raise ZeroDivisionError("baseline value is zero")
+    return {k: v / denom for k, v in values.items()}
+
+
+def improvement(new: float, old: float) -> float:
+    """Relative improvement of ``new`` over ``old`` (positive = better)."""
+    if old == 0:
+        raise ZeroDivisionError("old value is zero")
+    return (new - old) / old
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (used for cross-application summaries)."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric mean requires positive values")
+    prod = 1.0
+    for v in vals:
+        prod *= v
+    return prod ** (1.0 / len(vals))

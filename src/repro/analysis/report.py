@@ -1,0 +1,84 @@
+"""Text renderers for experiment results.
+
+Every figure/table driver returns a :class:`FigureResult`; these functions
+turn them into aligned monospace tables (what the benchmark harness prints
+and EXPERIMENTS.md records).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class FigureResult:
+    """A reproduced table or figure: an x-axis and one series per design."""
+
+    exp_id: str  # e.g. "fig5"
+    title: str
+    x_label: str
+    x: List  # grid values (floats or category strings)
+    series: Dict[str, List[float]]  # label -> y values aligned with x
+    notes: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for label, ys in self.series.items():
+            if len(ys) != len(self.x):
+                raise ValueError(
+                    f"series {label!r} has {len(ys)} points for {len(self.x)} x values"
+                )
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence], floatfmt: str = ".3f"
+) -> str:
+    """Render an aligned monospace table."""
+    def fmt(v) -> str:
+        if isinstance(v, float):
+            return format(v, floatfmt)
+        return str(v)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_figure(fig: FigureResult, floatfmt: str = ".3f") -> str:
+    """Render a FigureResult as a table: one row per x value, one column
+    per series, plus the title and notes."""
+    headers = [fig.x_label] + list(fig.series)
+    rows = []
+    for i, x in enumerate(fig.x):
+        rows.append([x] + [fig.series[label][i] for label in fig.series])
+    body = render_table(headers, rows, floatfmt=floatfmt)
+    out = [f"== {fig.exp_id}: {fig.title} ==", body]
+    for note in fig.notes:
+        out.append(f"note: {note}")
+    return "\n".join(out)
+
+
+def render_sparkline(values: Sequence[float], width: int = 40) -> str:
+    """A coarse ASCII sparkline (for quick visual sanity in terminals)."""
+    if not values:
+        return ""
+    blocks = " .:-=+*#%@"
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return blocks[5] * min(len(values), width)
+    step = max(1, len(values) // width)
+    out = []
+    for i in range(0, len(values), step):
+        v = values[i]
+        idx = int((v - lo) / (hi - lo) * (len(blocks) - 1))
+        out.append(blocks[idx])
+    return "".join(out)

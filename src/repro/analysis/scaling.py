@@ -1,0 +1,61 @@
+"""Mesh-size scaling study (extension).
+
+The paper evaluates an 8x8 mesh.  This module sweeps the mesh radix to
+show how DXbar's advantages scale: zero-load latency grows with hop count
+(where the 2-vs-3-stage pipeline gap compounds), and the bufferless fast
+path keeps its energy advantage as the network grows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..sim.config import SimConfig
+from ..sim.engine import run_simulation
+from ..sim.stats import SimResult
+from .report import FigureResult
+
+
+def scaling_study(
+    designs: Sequence[str] = ("buffered4", "dxbar_dor", "flit_bless"),
+    radices: Sequence[int] = (4, 6, 8, 10),
+    offered_load: float = 0.15,
+    base: SimConfig = None,
+) -> Dict[str, FigureResult]:
+    """Run every design at every mesh radix; returns latency and energy
+    figures keyed ``"latency"`` and ``"energy"``.
+
+    The load is kept below every radix's saturation so the comparison is a
+    zero-load-ish pipeline/energy story, not a capacity story (capacity per
+    node falls as the mesh grows).
+    """
+    base = base or SimConfig(
+        warmup_cycles=300, measure_cycles=800, drain_cycles=4000, seed=5
+    )
+    from ..designs import DESIGN_LABELS
+
+    lat: Dict[str, list] = {DESIGN_LABELS[d]: [] for d in designs}
+    energy: Dict[str, list] = {DESIGN_LABELS[d]: [] for d in designs}
+    for k in radices:
+        for d in designs:
+            r: SimResult = run_simulation(
+                base.with_(design=d, k=k, offered_load=offered_load, pattern="UR")
+            )
+            lat[DESIGN_LABELS[d]].append(r.avg_flit_latency)
+            energy[DESIGN_LABELS[d]].append(r.energy_per_packet_nj)
+    return {
+        "latency": FigureResult(
+            "scaling_latency",
+            f"Average latency vs mesh radix (UR @ {offered_load})",
+            "radix",
+            list(radices),
+            lat,
+        ),
+        "energy": FigureResult(
+            "scaling_energy",
+            f"Energy per packet vs mesh radix (UR @ {offered_load})",
+            "radix",
+            list(radices),
+            energy,
+        ),
+    }

@@ -1,0 +1,108 @@
+"""Parameter-sweep harnesses.
+
+These helpers run grids of :class:`~repro.sim.config.SimConfig` and collect
+:class:`~repro.sim.stats.SimResult` lists; the per-figure drivers in
+:mod:`repro.analysis.experiments` are built on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..sim.config import SimConfig
+from ..sim.engine import run_simulation
+from ..sim.stats import SimResult
+
+
+@dataclass
+class SweepResult:
+    """All runs of one design across a load grid."""
+
+    design: str
+    loads: List[float]
+    results: List[SimResult]
+
+    @property
+    def accepted(self) -> List[float]:
+        return [r.accepted_load for r in self.results]
+
+    @property
+    def latency(self) -> List[float]:
+        return [r.avg_flit_latency for r in self.results]
+
+    @property
+    def energy_per_packet(self) -> List[float]:
+        return [r.energy_per_packet_nj for r in self.results]
+
+
+def sweep_loads(
+    design: str,
+    loads: Sequence[float],
+    base: Optional[SimConfig] = None,
+    **overrides,
+) -> SweepResult:
+    """Run ``design`` at each offered load in ``loads``."""
+    base = base or SimConfig()
+    results = []
+    for load in loads:
+        cfg = base.with_(design=design, offered_load=load, **overrides)
+        results.append(run_simulation(cfg))
+    return SweepResult(design=design, loads=list(loads), results=results)
+
+
+def sweep_designs(
+    designs: Iterable[str],
+    loads: Sequence[float],
+    base: Optional[SimConfig] = None,
+    **overrides,
+) -> Dict[str, SweepResult]:
+    """Run every design across the same load grid."""
+    return {
+        d: sweep_loads(d, loads, base=base, **overrides) for d in designs
+    }
+
+
+def find_saturation(
+    design: str,
+    base: Optional[SimConfig] = None,
+    lo: float = 0.05,
+    hi: float = 1.0,
+    tolerance: float = 0.02,
+    threshold: float = 0.95,
+    max_iters: int = 12,
+    **overrides,
+) -> float:
+    """Locate the saturation offered-load of ``design`` by bisection.
+
+    A load is "stable" when accepted >= threshold * offered.  Compared to a
+    fixed grid this needs ~log2(range/tolerance) simulations and returns
+    the crossover to within ``tolerance``.
+
+    Returns ``hi`` if the design never saturates in range and ``lo`` if it
+    is already saturated at the lower bound.
+    """
+    if not (0 < lo < hi):
+        raise ValueError("need 0 < lo < hi")
+    if tolerance <= 0:
+        raise ValueError("tolerance must be positive")
+    base = base or SimConfig()
+
+    def stable(load: float) -> bool:
+        cfg = base.with_(design=design, offered_load=load, **overrides)
+        r = run_simulation(cfg)
+        return r.accepted_load >= threshold * load
+
+    if not stable(lo):
+        return lo
+    if stable(hi):
+        return hi
+    iters = 0
+    while hi - lo > tolerance and iters < max_iters:
+        mid = 0.5 * (lo + hi)
+        if stable(mid):
+            lo = mid
+        else:
+            hi = mid
+        iters += 1
+    return 0.5 * (lo + hi)

@@ -1,0 +1,207 @@
+"""Command-line interface.
+
+Run as ``python -m repro <command>``:
+
+* ``run`` — one simulation, printing the result summary;
+* ``sweep`` — an offered-load sweep for one or more designs;
+* ``figure`` — regenerate one of the paper's tables/figures;
+* ``splash`` — run one SPLASH-2 trace across designs;
+* ``designs`` / ``patterns`` — list what's available.
+
+Examples::
+
+    python -m repro run --design dxbar_dor --pattern UR --load 0.3
+    python -m repro sweep --designs dxbar_dor buffered8 --loads 0.1 0.3 0.5
+    python -m repro figure fig5 --scale quick
+    python -m repro splash --app Ocean --txns 40
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.experiments import ALL_EXPERIMENTS, SCALES
+from .analysis.report import render_figure, render_table
+from .analysis.sweep import sweep_designs
+from .designs import DESIGN_LABELS, PAPER_DESIGNS
+from .sim.config import KNOWN_DESIGNS, KNOWN_PATTERNS, FaultConfig, SimConfig
+from .sim.engine import Simulator, run_simulation
+from .sim.topology import Mesh
+from .traffic.patterns import pattern_names
+from .traffic.splash2 import generate_app_trace, splash2_app_names
+from .traffic.trace import TraceWorkload
+
+
+def _add_sim_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--design", default="dxbar_dor", choices=KNOWN_DESIGNS)
+    p.add_argument("--pattern", default="UR", choices=KNOWN_PATTERNS)
+    p.add_argument("--load", type=float, default=0.3, help="offered load (flits/node/cycle)")
+    p.add_argument("--k", type=int, default=8, help="mesh radix")
+    p.add_argument("--warmup", type=int, default=500)
+    p.add_argument("--measure", type=int, default=2000)
+    p.add_argument("--drain", type=int, default=500)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--packet-size", type=int, default=4)
+    p.add_argument("--faults", type=float, default=0.0, help="crossbar fault percent")
+
+
+def _config_from(args) -> SimConfig:
+    return SimConfig(
+        design=args.design,
+        pattern=args.pattern,
+        offered_load=args.load,
+        k=args.k,
+        warmup_cycles=args.warmup,
+        measure_cycles=args.measure,
+        drain_cycles=args.drain,
+        seed=args.seed,
+        packet_size=args.packet_size,
+        faults=FaultConfig(percent=args.faults),
+    )
+
+
+def cmd_run(args) -> int:
+    result = run_simulation(_config_from(args))
+    rows = [
+        ["accepted load", f"{result.accepted_load:.4f}"],
+        ["avg flit latency (cycles)", f"{result.avg_flit_latency:.2f}"],
+        ["avg packet latency (cycles)", f"{result.avg_packet_latency:.2f}"],
+        ["avg hops", f"{result.avg_hops:.2f}"],
+        ["energy (nJ/packet)", f"{result.energy_per_packet_nj:.3f}"],
+        ["deflections/flit", f"{result.deflections_per_flit:.3f}"],
+        ["buffered fraction of hops", f"{result.buffered_fraction:.3f}"],
+        ["drops", result.drops],
+        ["retransmissions", result.retransmissions],
+        ["fairness flips", result.fairness_flips],
+    ]
+    print(f"{DESIGN_LABELS[args.design]} | {args.pattern} @ {args.load}")
+    print(render_table(["metric", "value"], rows))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    base = _config_from(args)
+    out = sweep_designs(args.designs, args.loads, base=base)
+    headers = ["offered"] + [DESIGN_LABELS[d] for d in args.designs]
+    acc_rows, lat_rows, e_rows = [], [], []
+    for i, load in enumerate(args.loads):
+        acc_rows.append([load] + [out[d].accepted[i] for d in args.designs])
+        lat_rows.append([load] + [out[d].latency[i] for d in args.designs])
+        e_rows.append([load] + [out[d].energy_per_packet[i] for d in args.designs])
+    print("accepted load")
+    print(render_table(headers, acc_rows))
+    print("\navg flit latency (cycles)")
+    print(render_table(headers, lat_rows, floatfmt=".1f"))
+    print("\nenergy (nJ/packet)")
+    print(render_table(headers, e_rows))
+    return 0
+
+
+def cmd_figure(args) -> int:
+    driver = ALL_EXPERIMENTS[args.name]
+    if args.name == "table3":
+        fig = driver()
+    else:
+        fig = driver(SCALES[args.scale])
+    print(render_figure(fig))
+    return 0
+
+
+def cmd_splash(args) -> int:
+    mesh = Mesh(8)
+    trace = generate_app_trace(args.app, mesh, txns_per_core=args.txns, seed=args.seed)
+    rows = []
+    designs = args.designs or list(PAPER_DESIGNS)
+    base_time = None
+    for design in designs:
+        cfg = SimConfig(
+            design=design,
+            warmup_cycles=0,
+            measure_cycles=1,
+            drain_cycles=0,
+            seed=args.seed,
+            max_cycles=1_000_000,
+        )
+        sim = Simulator(cfg)
+        wl = TraceWorkload(list(trace))
+        sim.workload = wl
+        sim.network.workload = wl
+        r = sim.run()
+        if base_time is None:
+            base_time = r.final_cycle
+        rows.append(
+            [
+                DESIGN_LABELS[design],
+                r.final_cycle,
+                r.final_cycle / base_time,
+                r.energy_per_packet_nj,
+            ]
+        )
+    print(f"SPLASH-2 {args.app} ({args.txns} txns/core)")
+    print(
+        render_table(
+            ["design", "exec cycles", f"norm. to {DESIGN_LABELS[designs[0]]}", "nJ/packet"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_designs(args) -> int:
+    for d in KNOWN_DESIGNS:
+        print(f"{d:12s} {DESIGN_LABELS[d]}")
+    return 0
+
+
+def cmd_patterns(args) -> int:
+    print(" ".join(pattern_names()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DXbar NoC reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="run one simulation")
+    _add_sim_args(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("sweep", help="offered-load sweep")
+    _add_sim_args(p)
+    p.add_argument("--designs", nargs="+", default=["dxbar_dor", "buffered4"],
+                   choices=KNOWN_DESIGNS)
+    p.add_argument("--loads", nargs="+", type=float, default=[0.1, 0.3, 0.5])
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("figure", help="regenerate a paper table/figure")
+    p.add_argument("name", choices=sorted(ALL_EXPERIMENTS))
+    p.add_argument("--scale", default="quick", choices=sorted(SCALES))
+    p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser("splash", help="run one SPLASH-2 trace")
+    p.add_argument("--app", default="FFT", choices=sorted(splash2_app_names()))
+    p.add_argument("--txns", type=int, default=30)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--designs", nargs="+", default=None, choices=KNOWN_DESIGNS)
+    p.set_defaults(func=cmd_splash)
+
+    p = sub.add_parser("designs", help="list router designs")
+    p.set_defaults(func=cmd_designs)
+
+    p = sub.add_parser("patterns", help="list traffic patterns")
+    p.set_defaults(func=cmd_patterns)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""The paper's contribution: DXbar dual-crossbar and unified dual-input
+single-crossbar routers, with their allocators, fairness and fault logic."""
+
+from .allocator import Grant, Request, SeparableDualAllocator
+from .arbiters import MatrixArbiter, RoundRobinArbiter, oldest_first
+from .buffers import FlitFIFO
+from .crossbar import (
+    BUFFERED,
+    BUFFERLESS,
+    MatrixCrossbar,
+    SegmentedCrossbar,
+    requires_swap,
+)
+from .dxbar import DXbarRouter
+from .fairness import FairnessCounter
+from .faults import PRIMARY, SECONDARY, FaultPlan, RouterFault
+from .unified import UnifiedRouter
+
+__all__ = [
+    "Grant",
+    "Request",
+    "SeparableDualAllocator",
+    "MatrixArbiter",
+    "RoundRobinArbiter",
+    "oldest_first",
+    "FlitFIFO",
+    "BUFFERED",
+    "BUFFERLESS",
+    "MatrixCrossbar",
+    "SegmentedCrossbar",
+    "requires_swap",
+    "DXbarRouter",
+    "FairnessCounter",
+    "PRIMARY",
+    "SECONDARY",
+    "FaultPlan",
+    "RouterFault",
+    "UnifiedRouter",
+]

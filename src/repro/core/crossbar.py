@@ -1,0 +1,142 @@
+"""Structural crossbar models.
+
+These classes model *connectivity*, not data movement (the routers move the
+flits).  They exist so that the fault machinery and the unified design's
+segmentation logic are explicit, testable artifacts rather than implicit
+assumptions inside the routers:
+
+* :class:`MatrixCrossbar` — a plain ``n_in x n_out`` crosspoint matrix; a
+  configuration is a conflict-free set of (input, output) connections.
+* :class:`SegmentedCrossbar` — the unified dual-input crossbar of Fig 4(a):
+  each input row carries *two* sources (the bufferless input ``I`` and the
+  buffered input ``I'`` driving the row from opposite ends) and transmission
+  gates between adjacent output columns segment the row so both sources can
+  reach different outputs simultaneously.  The physical constraint is that
+  the bufferless source reaches the row's left segment and the buffered
+  source the right segment; when the requested outputs are ordered the other
+  way, the conflict-free allocator swaps the two sources (Fig 4(c)).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class MatrixCrossbar:
+    """A conventional crosspoint matrix crossbar."""
+
+    def __init__(self, n_in: int, n_out: int) -> None:
+        if n_in < 1 or n_out < 1:
+            raise ValueError("crossbar dimensions must be positive")
+        self.n_in = n_in
+        self.n_out = n_out
+        self._conf: Dict[int, int] = {}
+
+    def configure(self, connections: Iterable[Tuple[int, int]]) -> None:
+        """Set the crosspoints for this cycle.
+
+        Raises ``ValueError`` on out-of-range ports or on conflicts (an
+        input driving two outputs, or an output driven by two inputs).
+        """
+        conf: Dict[int, int] = {}
+        used_out = set()
+        for i, o in connections:
+            if not (0 <= i < self.n_in and 0 <= o < self.n_out):
+                raise ValueError(f"connection ({i},{o}) out of range")
+            if i in conf:
+                raise ValueError(f"input {i} driven to two outputs")
+            if o in used_out:
+                raise ValueError(f"output {o} driven by two inputs")
+            conf[i] = o
+            used_out.add(o)
+        self._conf = conf
+
+    def output_of(self, i: int) -> Optional[int]:
+        return self._conf.get(i)
+
+    def connections(self) -> List[Tuple[int, int]]:
+        return sorted(self._conf.items())
+
+
+# Lanes of the dual-input rows.
+BUFFERLESS = "bufferless"
+BUFFERED = "buffered"
+
+
+def requires_swap(out_bufferless: int, out_buffered: int) -> bool:
+    """Fig 4(c) conflict rule.
+
+    The bufferless source drives the row from the low-index end and the
+    buffered source from the high-index end; the single off transmission
+    gate between their outputs separates the segments only when
+    ``out_bufferless < out_buffered``.  Otherwise the detection logic fires
+    and the switch logic exchanges which physical lane each flit uses.
+    """
+    return out_bufferless > out_buffered
+
+
+class SegmentedCrossbar:
+    """The unified dual-input crossbar (one row per input port).
+
+    ``configure`` accepts per-input assignments of at most two (lane,
+    output) pairs and computes the transmission-gate settings, applying the
+    conflict-free swap where needed.  It returns the number of swaps so the
+    router can report the Fig 4(c) detection-logic activity.
+    """
+
+    def __init__(self, n_ports: int = 5) -> None:
+        if n_ports < 2:
+            raise ValueError("segmented crossbar needs >= 2 ports")
+        self.n = n_ports
+        # gate_off[row] = column index c meaning the gate between columns
+        # c and c+1 is off; None = whole row is one segment.
+        self.gate_off: Dict[int, Optional[int]] = {}
+        self._assign: Dict[Tuple[int, str], int] = {}
+
+    def configure(
+        self, per_input: Dict[int, Dict[str, int]]
+    ) -> int:
+        """Configure the crossbar for one cycle.
+
+        ``per_input[row]`` maps lane (:data:`BUFFERLESS` / :data:`BUFFERED`)
+        to the requested output column.  Returns the swap count.  Raises on
+        output conflicts across rows or a row requesting one output twice.
+        """
+        used_out = set()
+        swaps = 0
+        self.gate_off = {}
+        self._assign = {}
+        for row, lanes in per_input.items():
+            if not (0 <= row < self.n):
+                raise ValueError(f"row {row} out of range")
+            outs = list(lanes.values())
+            if len(outs) != len(set(outs)):
+                raise ValueError(f"row {row} drives output {outs[0]} twice")
+            for o in outs:
+                if not (0 <= o < self.n):
+                    raise ValueError(f"output {o} out of range")
+                if o in used_out:
+                    raise ValueError(f"output {o} driven by two rows")
+                used_out.add(o)
+            if len(lanes) == 2:
+                a, b = lanes[BUFFERLESS], lanes[BUFFERED]
+                lo, hi = (a, b) if a < b else (b, a)
+                if requires_swap(a, b):
+                    swaps += 1
+                # The off gate sits between the two outputs; every gate up
+                # to lo and after hi stays on so each source reaches its
+                # column.
+                self.gate_off[row] = lo
+            for lane, o in lanes.items():
+                self._assign[(row, lane)] = o
+        return swaps
+
+    def output_of(self, row: int, lane: str) -> Optional[int]:
+        return self._assign.get((row, lane))
+
+    def row_segments(self, row: int) -> List[range]:
+        """The output-column segments of ``row`` under the current config."""
+        cut = self.gate_off.get(row)
+        if cut is None:
+            return [range(0, self.n)]
+        return [range(0, cut + 1), range(cut + 1, self.n)]

@@ -1,0 +1,346 @@
+"""The DXbar dual-crossbar router (Section II).
+
+Microarchitecture (Fig 1):
+
+* a **primary** bufferless crossbar switches incoming flits in the cycle
+  they arrive (SA/ST; look-ahead routing makes RC free);
+* a **secondary** 5x5 crossbar fed by one 4-flit serial FIFO per direction
+  input plus the unbuffered PE injection port;
+* input de-multiplexers steer an arbitration *loser* into its FIFO instead
+  of deflecting or dropping it; output multiplexers merge both crossbars
+  onto the five output ports;
+* incoming flits have priority over buffered/injection flits, oldest-first
+  within each class; the fairness counter (threshold 4) flips the classes
+  when waiters starve;
+* because the buffered flit uses the *secondary* crossbar, a newly arriving
+  flit on the same input can be switched simultaneously (Fig 3(c)/(d)) —
+  the property that distinguishes DXbar from buffer-bypass designs.
+
+Flow control: the inter-router links are bufferless, exactly as in
+Flit-BLESS — a router must sink every arriving flit in the cycle it
+arrives.  The sink order is: productive output via the primary crossbar,
+else the input's FIFO, else (FIFO full — rare, the paper's fairness
+counter bounds buffer residency) the flit is *deflected* through the
+primary crossbar like a BLESS flit.  The overflow-deflection fallback is a
+documented substitution (DESIGN.md): the paper's prose says losers are
+always buffered but specifies no buffer-full interlock, and
+credit-reserving the 4-deep FIFO across the 3-cycle round trip would
+throttle the bufferless fast path the design is built around (this is the
+same escape valve the later minimally-buffered deflection literature,
+e.g. MinBD, adopts).  A "must-place" pre-pass guarantees a free output
+always exists for a full-FIFO input (#incoming <= #direction outputs).
+
+Fault tolerance (Section II.C): when either crossbar fails and the 5-cycle
+BIST detection elapses, the router reconfigures through its 2x2 steering
+switches into a degraded buffered mode that uses only the surviving
+crossbar.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..routers.base import BaseRouter
+from ..sim.flit import Flit
+from ..sim.ports import Port
+from .buffers import FlitFIFO
+from .fairness import FairnessCounter
+from .faults import RouterFault
+
+
+class DXbarRouter(BaseRouter):
+    """Dual-crossbar router: bufferless primary + buffered secondary."""
+
+    uses_credits = False
+
+    def __init__(self, node, mesh, routing, energy, config) -> None:
+        super().__init__(node, mesh, routing, energy, config)
+        depth = config.buffer_depth
+        self.fifos = {port: FlitFIFO(depth) for port in mesh.ports_of(node)}
+        self._fifo_list = list(self.fifos.values())
+        self.fairness = FairnessCounter(config.fairness_threshold)
+        # Fault state, assigned by the network from the FaultPlan.
+        self.fault: Optional[RouterFault] = None
+        self.reconfigured = False
+        self._current_cycle = 0
+        # With crosspoint-granularity faults, strict deterministic routing
+        # can render a destination unreachable from one approach direction;
+        # a flit that keeps bouncing escalates to minimal-adaptive
+        # candidates (the paper: packets "try to adapt to the topology").
+        self._escalate_on_deflections = config.faults.granularity == "crosspoint"
+
+
+    # ------------------------------------------------------------------
+    def step(self, cycle: int) -> None:
+        self._current_cycle = cycle
+        fault = self.fault
+        if (
+            fault is not None
+            and not fault.is_crosspoint  # crosspoints are masked, not degraded
+            and not self.reconfigured
+            and fault.detected(cycle)
+        ):
+            self.reconfigured = True
+            self.stats.fault_reconfigurations += 1
+        if self.reconfigured:
+            self._step_degraded(cycle)
+            return
+        primary_ok = fault.primary_ok(cycle) if fault else True
+        secondary_ok = fault.secondary_ok(cycle) if fault else True
+        self._step_normal(cycle, primary_ok, secondary_ok)
+
+    # ------------------------------------------------------------------
+    # building blocks
+    # ------------------------------------------------------------------
+    def _pick_output(
+        self,
+        flit: Flit,
+        outputs_used: set,
+        in_port: Port = Port.LOCAL,
+        crossbar: str = "primary",
+    ) -> Optional[Port]:
+        """First free candidate port for ``flit`` (adaptive routing
+        functions expose several candidates, which is how a buffered flit
+        "re-directs to another progressive direction").
+
+        Detected crosspoint faults are masked by the switch allocator
+        (skipped); an *undetected* broken crosspoint is attempted blindly
+        and the traversal fails — modelled by returning None so the flit is
+        buffered/stalls for the cycle (the paper's BIST detects exactly
+        these failed connections).
+        """
+        fault = self.fault
+        for cand in self._candidates(flit):
+            if cand in outputs_used:
+                continue
+            if fault is not None and fault.is_crosspoint:
+                cycle = self._current_cycle
+                if fault.masks(crossbar, in_port, cand, cycle):
+                    continue  # allocator routes around the known fault
+                if fault.blocks(crossbar, in_port, cand, cycle):
+                    return None  # blind attempt fails this cycle
+            return cand
+        return None
+
+    def _candidates(self, flit: Flit):
+        """Routing candidates, escalating to minimal-adaptive for flits a
+        crosspoint fault has repeatedly deflected."""
+        if self._escalate_on_deflections and flit.deflections >= 4:
+            return self.network.adaptive_routing.candidates(self.node, flit.dst)
+        return self.routing.candidates(self.node, flit.dst)
+
+    def _deflect(
+        self, flit: Flit, outputs_used: set, cycle: int, in_port: Optional[Port] = None
+    ) -> None:
+        """Overflow fallback: push the flit out of a free direction port
+        through the primary crossbar (BLESS-style).
+
+        An immediate u-turn (back out of the arrival port) is taken only as
+        a last resort: with crosspoint faults, u-turn deflections can lock
+        a flit into a two-router ping-pong that starves everyone else.
+        """
+        fallback = None
+        ports = list(self.fifos)  # the direction ports present at this node
+        # Rotate the scan origin with the clock: a fixed scan order can trap
+        # a crosspoint-blocked flit in a stable multi-router orbit.
+        start = (cycle + self.node) % len(ports)
+        for i in range(len(ports)):
+            cand = ports[(start + i) % len(ports)]
+            if cand in outputs_used:
+                continue
+            if cand == in_port:
+                fallback = cand
+                continue
+            outputs_used.add(cand)
+            flit.deflections += 1
+            self.energy.charge_xbar(flit)
+            self.send(flit, cand, cycle)
+            return
+        if fallback is not None:
+            outputs_used.add(fallback)
+            flit.deflections += 1
+            self.energy.charge_xbar(flit)
+            self.send(flit, fallback, cycle)
+            return
+        raise AssertionError(
+            f"router {self.node}: no deflection port free for an "
+            "unbufferable flit (must-place ordering violated)"
+        )
+
+    def _ordered_incoming(self) -> List[Tuple[Port, Flit]]:
+        if len(self.incoming) <= 1:
+            return self.incoming
+        return sorted(
+            self.incoming,
+            key=lambda pf: (pf[1].injected_cycle, pf[1].packet_id, pf[1].flit_index),
+        )
+
+    def _collect_waiters(self) -> List[Tuple[str, Port, Flit]]:
+        """Snapshot the secondary-crossbar requesters: FIFO heads and the
+        injection-port flit.  Flits buffered *this* cycle are deliberately
+        absent — they become eligible next cycle."""
+        waiters: List[Tuple[str, Port, Flit]] = []
+        for port, fifo in self.fifos.items():
+            head = fifo.head()
+            if head is not None:
+                waiters.append(("fifo", port, head))
+        if self.inj_queue:
+            waiters.append(("inj", Port.LOCAL, self.inj_queue[0]))
+        if len(waiters) > 1:
+            waiters.sort(
+                key=lambda w: (w[2].injected_cycle, w[2].packet_id, w[2].flit_index)
+            )
+        return waiters
+
+    def _serve_waiters(
+        self,
+        waiters: List[Tuple[str, Port, Flit]],
+        outputs_used: set,
+        cycle: int,
+        xbar_charge: bool = True,
+    ) -> bool:
+        """Secondary-crossbar phase: move eligible buffered/injection flits."""
+        won = False
+        fault = self.fault
+        for kind, in_port, flit in waiters:
+            out = self._pick_output(flit, outputs_used, in_port, "secondary")
+            if (
+                out is None
+                and fault is not None
+                and fault.is_crosspoint
+                and fault.crossbar == "secondary"
+                and fault.input_port == in_port
+                and fault.detected(cycle)
+            ):
+                # The 2x2 steering switches between the buffers and the
+                # crossbars (Section II.C) let a buffered flit reach the
+                # *primary* crossbar when its secondary crosspoint is known
+                # dead — without this, a DOR flit whose only productive
+                # output sits behind the broken crosspoint would starve.
+                out = self._pick_output(flit, outputs_used, in_port, "primary")
+            if out is None:
+                continue
+            outputs_used.add(out)
+            if kind == "fifo":
+                popped = self.fifos[in_port].pop()
+                assert popped is flit, "waiter snapshot desynchronised"
+            else:
+                self.inj_queue.popleft()
+                self.mark_network_entry(flit, cycle)
+            if xbar_charge:
+                self.energy.charge_xbar(flit)
+            self.send(flit, out, cycle)
+            won = True
+        return won
+
+    def _serve_incoming(
+        self,
+        incoming: List[Tuple[Port, Flit]],
+        outputs_used: set,
+        cycle: int,
+        primary_ok: bool,
+    ) -> bool:
+        """Primary-crossbar phase: switch incoming flits; losers are demuxed
+        into their input FIFO (or deflected if the FIFO is full)."""
+        won = False
+        for in_port, flit in incoming:
+            out = (
+                self._pick_output(flit, outputs_used, in_port, "primary")
+                if primary_ok
+                else None
+            )
+            if out is not None:
+                outputs_used.add(out)
+                self.energy.charge_xbar(flit)
+                self.send(flit, out, cycle)
+                won = True
+            elif not self.fifos[in_port].full:
+                flit.buffered_events += 1
+                self.energy.charge_buffer(flit)
+                self.fifos[in_port].push(flit)
+            elif primary_ok:
+                self._deflect(flit, outputs_used, cycle, in_port)
+                won = True
+            else:
+                # Undetected primary fault with a full FIFO: the flit is
+                # forced into the buffer anyway — physically this is the
+                # input latch holding; modelled as a one-slot overfill that
+                # the degraded mode drains after detection.
+                flit.buffered_events += 1
+                self.energy.charge_buffer(flit)
+                self.fifos[in_port].force_push(flit)
+        return won
+
+    def _split_must_place(
+        self, incoming: List[Tuple[Port, Flit]]
+    ) -> Tuple[List[Tuple[Port, Flit]], List[Tuple[Port, Flit]]]:
+        """Partition incoming flits into (full-FIFO inputs, bufferable)."""
+        must, rest = [], []
+        for in_port, flit in incoming:
+            (must if self.fifos[in_port].full else rest).append((in_port, flit))
+        return must, rest
+
+    # ------------------------------------------------------------------
+    def _step_normal(self, cycle: int, primary_ok: bool, secondary_ok: bool) -> None:
+        # Fast path: an idle router (no arrivals, empty buffers, nothing to
+        # inject) has no work this cycle — a large share of routers at low
+        # and moderate loads.
+        if not self.incoming and not self.inj_queue and not self._any_buffered:
+            self.fairness.count = 0  # no waiters: the counter rests
+            return
+        waiters = self._collect_waiters() if secondary_ok else []
+        outputs_used: set = set()
+        flip = bool(waiters) and self.fairness.should_flip()
+        incoming = self._ordered_incoming()
+
+        if flip:
+            # Waiters are served first — but incoming flits whose FIFO is
+            # full must be placed before waiters can consume every output.
+            must, rest = self._split_must_place(incoming)
+            incoming_won = self._serve_incoming(must, outputs_used, cycle, primary_ok)
+            waiter_won = self._serve_waiters(waiters, outputs_used, cycle)
+            incoming_won |= self._serve_incoming(rest, outputs_used, cycle, primary_ok)
+            self.fairness.note_flip()
+            self.stats.fairness_flips += 1
+        else:
+            incoming_won = self._serve_incoming(incoming, outputs_used, cycle, primary_ok)
+            waiter_won = self._serve_waiters(waiters, outputs_used, cycle)
+
+        self.fairness.update(
+            waiters_present=bool(waiters),
+            waiter_won=waiter_won,
+            incoming_won=incoming_won,
+        )
+
+    # ------------------------------------------------------------------
+    def _step_degraded(self, cycle: int) -> None:
+        """Single surviving crossbar: behave as a buffered router (with the
+        2-stage look-ahead pipeline DXbar retains).  Incoming flits whose
+        FIFO is full deflect through the surviving crossbar."""
+        waiters = self._collect_waiters()
+        outputs_used: set = set()
+        must, rest = self._split_must_place(self._ordered_incoming())
+        for in_port, flit in must:
+            out = self._pick_output(flit, outputs_used, in_port, "secondary")
+            if out is None:
+                self._deflect(flit, outputs_used, cycle, in_port)
+            else:
+                outputs_used.add(out)
+                self.energy.charge_xbar(flit)
+                self.send(flit, out, cycle)
+        self._serve_waiters(waiters, outputs_used, cycle)
+        for in_port, flit in rest:
+            flit.buffered_events += 1
+            self.energy.charge_buffer(flit)
+            self.fifos[in_port].push(flit)
+
+    @property
+    def _any_buffered(self) -> bool:
+        for fifo in self._fifo_list:
+            if fifo._q:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def occupancy(self) -> int:
+        return sum(len(f) for f in self.fifos.values())

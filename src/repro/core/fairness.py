@@ -1,0 +1,48 @@
+"""Fairness maintenance between the primary and secondary crossbars
+(Section II.A.2).
+
+Age-based arbitration lets edge-injected flits (which age while crossing the
+mesh) perpetually beat the flits center nodes try to inject, starving them.
+The paper's fix: each router counts how many *consecutive* cycles the
+primary-crossbar (incoming) flits win while somebody is waiting in a buffer
+or the injection port.  When the count exceeds a threshold (4, tuned to
+cover the credit round-trip), priority flips for one arbitration so waiting
+flits are served first; the counter resets whenever a waiter wins.
+"""
+
+from __future__ import annotations
+
+
+class FairnessCounter:
+    """Consecutive-primary-win counter with a flip threshold."""
+
+    __slots__ = ("threshold", "count", "flips")
+
+    def __init__(self, threshold: int) -> None:
+        if threshold < 1:
+            raise ValueError("fairness threshold must be >= 1")
+        self.threshold = threshold
+        self.count = 0
+        self.flips = 0
+
+    def should_flip(self) -> bool:
+        """True when the next arbitration must serve waiters first."""
+        return self.count >= self.threshold
+
+    def update(self, waiters_present: bool, waiter_won: bool, incoming_won: bool) -> None:
+        """Advance the counter after one arbitration round.
+
+        * no waiters -> nothing to be unfair to, counter rests at zero;
+        * a waiter won -> reset (paper: "reset every time a waiting flit
+          wins");
+        * waiters starved while an incoming flit won -> count the win.
+        """
+        if not waiters_present or waiter_won:
+            self.count = 0
+        elif incoming_won:
+            self.count += 1
+
+    def note_flip(self) -> None:
+        """Record that a flip was applied and rearm the counter."""
+        self.flips += 1
+        self.count = 0

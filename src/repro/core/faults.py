@@ -1,0 +1,147 @@
+"""Crossbar fault injection (Sections II.C and III.E).
+
+The paper injects permanent faults at router crossbars: a percentage knob
+selects how many routers develop one dead crossbar ("100% faults i.e. there
+is a fault in almost every router").  Faults are "randomly generated at
+different crossbars with the same random seed but varying percentages" — we
+realise that by drawing a fixed random router ordering from the seed and
+taking its prefix, so the faulty sets are *nested* as the percentage grows.
+
+Two granularities are supported:
+
+* ``crossbar`` (the paper's evaluation): the whole crossbar dies; after
+  BIST detection the router reconfigures into degraded buffered mode on
+  the surviving crossbar via its 2x2 steering switches;
+* ``crosspoint`` (the paper names this fault origin — "faults ... could
+  occur at the crosspoints connecting any input to output" — but evaluates
+  only whole-crossbar failures; we provide it as an extension): one
+  (input, output) crosspoint dies.  Before detection a flit blindly
+  attempting the broken crosspoint loses its cycle; after detection the
+  switch allocator masks the crosspoint and routes around it — which
+  adaptive routing exploits better than DOR.
+
+Detection is BIST-based with an assumed fixed latency (paper: five router
+clock cycles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..sim.config import FaultConfig
+from ..sim.ports import Port
+
+#: Which crossbar died.
+PRIMARY = "primary"
+SECONDARY = "secondary"
+
+#: Fault granularities.
+CROSSBAR = "crossbar"
+CROSSPOINT = "crosspoint"
+
+
+@dataclass(frozen=True)
+class RouterFault:
+    """One permanent fault at one router.
+
+    ``input_port``/``output_port`` are None for a whole-crossbar fault and
+    set for a crosspoint fault.
+    """
+
+    crossbar: str  # PRIMARY or SECONDARY
+    manifest_cycle: int
+    detected_cycle: int
+    input_port: Optional[Port] = None
+    output_port: Optional[Port] = None
+
+    @property
+    def is_crosspoint(self) -> bool:
+        return self.input_port is not None
+
+    def primary_ok(self, cycle: int) -> bool:
+        """Is the whole primary crossbar usable at ``cycle``?  Crosspoint
+        faults never disable a whole crossbar."""
+        if self.is_crosspoint:
+            return True
+        return self.crossbar != PRIMARY or cycle < self.manifest_cycle
+
+    def secondary_ok(self, cycle: int) -> bool:
+        if self.is_crosspoint:
+            return True
+        return self.crossbar != SECONDARY or cycle < self.manifest_cycle
+
+    def detected(self, cycle: int) -> bool:
+        return cycle >= self.detected_cycle
+
+    # ------------------------------------------------------------------
+    # crosspoint queries (no-ops for whole-crossbar faults)
+    # ------------------------------------------------------------------
+    def blocks(self, crossbar: str, in_port: Port, out_port: Port, cycle: int) -> bool:
+        """True when the (in, out) crosspoint of ``crossbar`` is broken and
+        the fault has manifested."""
+        return (
+            self.is_crosspoint
+            and self.crossbar == crossbar
+            and cycle >= self.manifest_cycle
+            and self.input_port == in_port
+            and self.output_port == out_port
+        )
+
+    def masks(self, crossbar: str, in_port: Port, out_port: Port, cycle: int) -> bool:
+        """True when the allocator *knows* (post-detection) to avoid the
+        crosspoint."""
+        return self.blocks(crossbar, in_port, out_port, cycle) and self.detected(cycle)
+
+
+class FaultPlan:
+    """Deterministic assignment of faults to routers.
+
+    ``plan.fault_for(node)`` returns the :class:`RouterFault` for ``node``
+    or None.  Two plans with the same seed and different percentages select
+    nested router subsets, matching the paper's methodology.
+    """
+
+    def __init__(self, config: FaultConfig, num_routers: int) -> None:
+        self.config = config
+        self.num_routers = num_routers
+        self._faults: Dict[int, RouterFault] = {}
+        count = int(round(config.percent / 100.0 * num_routers))
+        if count == 0:
+            return
+        rng = np.random.default_rng(config.seed)
+        order = rng.permutation(num_routers)
+        for node in order[:count]:
+            # Per-router streams keyed by (seed, node) keep each router's
+            # fault identical across different percentages.
+            r = np.random.default_rng((config.seed, int(node)))
+            crossbar = PRIMARY if r.random() < 0.5 else SECONDARY
+            manifest = int(r.integers(1, config.manifest_window + 1))
+            in_port: Optional[Port] = None
+            out_port: Optional[Port] = None
+            if config.granularity == CROSSPOINT:
+                # The primary crossbar has the four direction inputs; the
+                # secondary adds the injection lane — either way the broken
+                # crosspoint connects one input row to one output column.
+                n_inputs = 4 if crossbar == PRIMARY else 5
+                in_port = Port(int(r.integers(n_inputs)))
+                out_port = Port(int(r.integers(5)))
+            self._faults[int(node)] = RouterFault(
+                crossbar=crossbar,
+                manifest_cycle=manifest,
+                detected_cycle=manifest + config.detection_cycles,
+                input_port=in_port,
+                output_port=out_port,
+            )
+
+    def fault_for(self, node: int) -> Optional[RouterFault]:
+        return self._faults.get(node)
+
+    @property
+    def faulty_nodes(self) -> tuple:
+        return tuple(sorted(self._faults))
+
+    def __len__(self) -> int:
+        return len(self._faults)

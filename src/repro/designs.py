@@ -1,0 +1,87 @@
+"""Design registry: maps config design names to router classes and routing
+functions.
+
+The six evaluated designs (Section III.A) and their routed variants:
+
+========== =============================== =========================
+config     router                          routing
+========== =============================== =========================
+flit_bless :class:`BlessRouter`            minimal adaptive (deflect)
+scarab     :class:`ScarabRouter`           minimal adaptive (drop)
+buffered4  :class:`Buffered4Router`        DOR
+buffered8  :class:`Buffered8Router`        DOR
+dxbar_dor  :class:`DXbarRouter`            DOR
+dxbar_wf   :class:`DXbarRouter`            West-First adaptive
+unified_dor :class:`UnifiedRouter`         DOR
+unified_wf :class:`UnifiedRouter`          West-First adaptive
+========== =============================== =========================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from .core.dxbar import DXbarRouter
+from .core.unified import UnifiedRouter
+from .routers.base import BaseRouter
+from .routers.afc import AFCRouter
+from .routers.bless import BlessRouter
+from .routers.buffered import Buffered4Router, Buffered8Router
+from .routers.scarab import ScarabRouter
+from .routing.adaptive import MinimalAdaptiveRouting
+from .routing.base import RoutingFunction
+from .routing.dor import DORRouting
+from .routing.westfirst import WestFirstRouting
+from .sim.config import SimConfig
+from .sim.topology import Mesh
+
+#: Router class per base design name.
+ROUTER_CLASSES: Dict[str, Type[BaseRouter]] = {
+    "flit_bless": BlessRouter,
+    "scarab": ScarabRouter,
+    "buffered4": Buffered4Router,
+    "buffered8": Buffered8Router,
+    "dxbar": DXbarRouter,
+    "unified": UnifiedRouter,
+    "afc": AFCRouter,
+}
+
+_ROUTING_CLASSES: Dict[str, Type[RoutingFunction]] = {
+    "dor": DORRouting,
+    "wf": WestFirstRouting,
+    "adaptive": MinimalAdaptiveRouting,
+}
+
+#: The six designs of the paper's figures, in plotting order.
+PAPER_DESIGNS = (
+    "flit_bless",
+    "scarab",
+    "buffered4",
+    "buffered8",
+    "dxbar_dor",
+    "dxbar_wf",
+)
+
+#: Pretty names used by the report renderers.
+DESIGN_LABELS = {
+    "flit_bless": "Flit-Bless",
+    "scarab": "SCARAB",
+    "buffered4": "Buffered 4",
+    "buffered8": "Buffered 8",
+    "dxbar_dor": "DXbar DOR",
+    "dxbar_wf": "DXbar WF",
+    "unified_dor": "Unified DOR",
+    "unified_wf": "Unified WF",
+    "afc": "AFC",
+}
+
+
+def build_routing(config: SimConfig, mesh: Mesh) -> RoutingFunction:
+    """Instantiate the routing function for ``config`` over ``mesh``."""
+    return _ROUTING_CLASSES[config.routing](mesh)
+
+
+def build_router(config, node, mesh, routing, energy) -> BaseRouter:
+    """Instantiate one router of the configured design."""
+    cls = ROUTER_CLASSES[config.base_design]
+    return cls(node, mesh, routing, energy, config)

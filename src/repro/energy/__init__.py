@@ -1,0 +1,25 @@
+"""Energy and area models (Table III of the paper)."""
+
+from .area import AreaBreakdown, area_table, design_area
+from .constants import (
+    DESIGN_ENERGY,
+    FLIT_BITS,
+    LINK_ENERGY_PJ,
+    UNIFIED_XBAR_ENERGY_PJ,
+    XBAR_ENERGY_PJ,
+    EnergyConstants,
+)
+from .model import EnergyModel
+
+__all__ = [
+    "AreaBreakdown",
+    "area_table",
+    "design_area",
+    "DESIGN_ENERGY",
+    "FLIT_BITS",
+    "LINK_ENERGY_PJ",
+    "UNIFIED_XBAR_ENERGY_PJ",
+    "XBAR_ENERGY_PJ",
+    "EnergyConstants",
+    "EnergyModel",
+]

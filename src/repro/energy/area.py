@@ -1,0 +1,86 @@
+"""Router area model reproducing Table III.
+
+The OCR of the paper dropped the absolute mm^2 figures, but the text pins
+down a complete set of relations which we solve here (values in mm^2 per
+router, 65 nm):
+
+* a router is built from a 5x5 crossbar (``X``), the four 4-flit input
+  buffers (``B``) and the four input links (``L``);
+* Flit-BLESS and SCARAB have no buffers: ``area = X + L``;
+* Buffered-4 adds one buffer bank: ``X + B + L``;
+* Buffered-8 doubles the buffers: ``X + 2B + L`` and "the buffers have a
+  larger area than the crossbar" => ``B > X``;
+* DXbar adds a second crossbar to Buffered-4: ``2X + B + L``, and "occupies
+  33% more area than Flit-BLESS" => ``2X + B + L = 1.33 (X + L)``;
+* the unified design replaces the two crossbars by one segmented crossbar
+  ``Xu`` with ``X < Xu < 2X`` and "occupies 25% more area than Flit-BLESS"
+  => ``Xu + B + L = 1.25 (X + L)``.
+
+Choosing ``X = 0.009`` (a 5x5 128-bit matrix crossbar at 65 nm) and solving
+gives ``L = 0.060`` and ``B = 0.0137``, which satisfies every inequality the
+paper states.  Only the *relative* areas matter for the evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+#: 5x5 matrix crossbar area (mm^2).
+XBAR_AREA_MM2 = 0.009
+
+#: Four 128-bit input links (mm^2), dominated by repeaters/wiring.
+LINKS_AREA_MM2 = 0.060
+
+#: Four 4-flit input buffers (mm^2); derived from the 1.33x constraint.
+BUFFERS4_AREA_MM2 = 0.33 * LINKS_AREA_MM2 - 0.67 * XBAR_AREA_MM2
+
+#: Unified dual-input segmented crossbar (mm^2); from the 1.25x constraint.
+UNIFIED_XBAR_AREA_MM2 = (
+    1.25 * (XBAR_AREA_MM2 + LINKS_AREA_MM2) - BUFFERS4_AREA_MM2 - LINKS_AREA_MM2
+)
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Per-router area decomposition (mm^2)."""
+
+    crossbars: float
+    buffers: float
+    links: float
+
+    @property
+    def total(self) -> float:
+        return self.crossbars + self.buffers + self.links
+
+
+def design_area(design: str) -> AreaBreakdown:
+    """Return the area breakdown of one Table III design.
+
+    ``design`` is one of ``flit_bless``, ``scarab``, ``buffered4``,
+    ``buffered8``, ``dxbar``, ``unified``.
+    """
+    X, B, L = XBAR_AREA_MM2, BUFFERS4_AREA_MM2, LINKS_AREA_MM2
+    table = {
+        "flit_bless": AreaBreakdown(X, 0.0, L),
+        "scarab": AreaBreakdown(X, 0.0, L),
+        "buffered4": AreaBreakdown(X, B, L),
+        "buffered8": AreaBreakdown(X, 2 * B, L),
+        "dxbar": AreaBreakdown(2 * X, B, L),
+        "unified": AreaBreakdown(UNIFIED_XBAR_AREA_MM2, B, L),
+        # AFC extension: Buffered-4 plus mode-control logic (~5% of the
+        # crossbar, following the AFC paper's "small controller" claim).
+        "afc": AreaBreakdown(1.05 * X, B, L),
+    }
+    try:
+        return table[design]
+    except KeyError:
+        raise ValueError(f"unknown design {design!r}; expected one of {sorted(table)}")
+
+
+def area_table() -> Dict[str, float]:
+    """Total router area (mm^2) for every Table III design."""
+    return {
+        d: design_area(d).total
+        for d in ("flit_bless", "scarab", "buffered4", "buffered8", "dxbar", "unified")
+    }

@@ -1,0 +1,70 @@
+"""Per-event energy accounting.
+
+The :class:`EnergyModel` sits between routers and the
+:class:`~repro.sim.stats.StatsCollector`: routers call ``charge_*`` once per
+microarchitectural event and the model decides whether the event is billable
+(only flits injected inside the measurement window count, matching how the
+paper reports average energy) and at what rate.
+"""
+
+from __future__ import annotations
+
+from .constants import DESIGN_ENERGY, EnergyConstants
+from ..sim.flit import Flit
+from ..sim.stats import StatsCollector
+
+
+class EnergyModel:
+    """Charges buffer / crossbar / link / NACK events into the stats."""
+
+    __slots__ = ("constants", "stats")
+
+    def __init__(self, constants: EnergyConstants, stats: StatsCollector) -> None:
+        self.constants = constants
+        self.stats = stats
+
+    @classmethod
+    def for_design(cls, design: str, stats: StatsCollector) -> "EnergyModel":
+        """Build a model with the Table III constants of ``design``.
+
+        ``design`` accepts either a base name (``dxbar``) or a routed variant
+        (``dxbar_dor`` / ``dxbar_wf``).
+        """
+        base = design.split("_dor")[0].split("_wf")[0]
+        try:
+            constants = DESIGN_ENERGY[base]
+        except KeyError:
+            raise ValueError(
+                f"no energy constants for design {design!r}; "
+                f"known: {sorted(DESIGN_ENERGY)}"
+            )
+        return cls(constants, stats)
+
+    # ------------------------------------------------------------------
+    # charging hooks (hot path: keep branch-light)
+    # ------------------------------------------------------------------
+    def charge_buffer(self, flit: Flit) -> None:
+        """One buffer write + read pair for ``flit``."""
+        flit.energy_pj += self.constants.buffer_pj
+        if flit.measured:
+            self.stats.energy_buffer_pj += self.constants.buffer_pj
+
+    def charge_xbar(self, flit: Flit) -> None:
+        """One crossbar traversal."""
+        self.stats.xbar_traversals += 1
+        flit.energy_pj += self.constants.xbar_pj
+        if flit.measured:
+            self.stats.energy_xbar_pj += self.constants.xbar_pj
+
+    def charge_link(self, flit: Flit) -> None:
+        """One inter-router link traversal."""
+        self.stats.link_traversals += 1
+        flit.energy_pj += self.constants.link_pj
+        if flit.measured:
+            self.stats.energy_link_pj += self.constants.link_pj
+
+    def charge_nack(self, flit: Flit, hops: int) -> None:
+        """A NACK travelling ``hops`` hops on the SCARAB NACK network."""
+        flit.energy_pj += self.constants.nack_hop_pj * hops
+        if flit.measured:
+            self.stats.energy_nack_pj += self.constants.nack_hop_pj * hops

@@ -1,0 +1,15 @@
+"""Baseline router designs (Flit-BLESS, SCARAB, Buffered-4/8)."""
+
+from .base import BaseRouter
+from .bless import BlessRouter
+from .buffered import Buffered4Router, Buffered8Router, BufferedRouter
+from .scarab import ScarabRouter
+
+__all__ = [
+    "BaseRouter",
+    "BlessRouter",
+    "Buffered4Router",
+    "Buffered8Router",
+    "BufferedRouter",
+    "ScarabRouter",
+]

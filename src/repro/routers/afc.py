@@ -1,0 +1,202 @@
+"""AFC-style adaptive flow control router (extension).
+
+The paper positions Jafri et al.'s Adaptive Flow Control [9] as the
+closest related work: a router that "dynamically switches between
+bufferless to buffered mode based on traffic load", and argues DXbar gets
+the same best-of-both behaviour in hardware, adding that "the adaptive
+flow control techniques are complementary to our techniques".  This module
+implements an AFC-like router so that comparison can actually be run:
+
+* **bufferless mode** (low load): the router behaves exactly like
+  Flit-BLESS — single-cycle switching, deflection on conflict, input
+  buffers power-gated (no buffer energy);
+* **buffered mode** (high load): arriving flits are written into the input
+  FIFOs and switched oldest-first, eliminating deflections at the cost of
+  buffer energy (overflowing flits still deflect, as in DXbar);
+* **mode control** (per router, hysteretic): a sliding window counts
+  deflections and incoming flits; too many deflections flip the router to
+  buffered mode, and it returns to bufferless only after the window shows
+  light traffic *and* its buffers have drained (AFC's drain protocol).
+
+The per-router mode switching is precisely the "increased design
+complexity" the paper criticises; the benches let you quantify what that
+complexity buys relative to DXbar's always-on hybrid.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.arbiters import oldest_first
+from ..core.buffers import FlitFIFO
+from ..sim.flit import Flit
+from ..sim.ports import Port
+from .base import BaseRouter
+
+#: Sliding-window length in cycles for the congestion estimate.
+MODE_WINDOW = 32
+
+#: Deflections within a window (~0.25/cycle) that flip to buffered mode.
+DEFLECT_HI = 8
+
+#: Incoming flits per window below which bufferless mode resumes.  A
+#: router forwarding at ~0.6 flits/cycle or less handles the traffic fine
+#: without buffers (deflections stay rare below that utilisation).
+TRAFFIC_LO = 20
+
+BUFFERLESS_MODE = "bufferless"
+BUFFERED_MODE = "buffered"
+
+
+class AFCRouter(BaseRouter):
+    """Per-router adaptive switching between BLESS-like and buffered modes."""
+
+    uses_credits = False
+
+    def __init__(self, node, mesh, routing, energy, config) -> None:
+        super().__init__(node, mesh, routing, energy, config)
+        self._link_ports = tuple(mesh.ports_of(node))
+        self.fifos = {port: FlitFIFO(config.buffer_depth) for port in self._link_ports}
+        self.mode = BUFFERLESS_MODE
+        self.mode_switches = 0
+        self._window_deflections = 0
+        self._window_incoming = 0
+
+    # ------------------------------------------------------------------
+    # mode control
+    # ------------------------------------------------------------------
+    def _update_mode(self, cycle: int) -> None:
+        if cycle == 0 or cycle % MODE_WINDOW:
+            return
+        if self.mode == BUFFERLESS_MODE:
+            if self._window_deflections >= DEFLECT_HI:
+                self.mode = BUFFERED_MODE
+                self.mode_switches += 1
+        else:
+            # Return to bufferless only once traffic is light and the
+            # buffers have drained (the AFC drain protocol).
+            if self._window_incoming <= TRAFFIC_LO and self.occupancy() == 0:
+                self.mode = BUFFERLESS_MODE
+                self.mode_switches += 1
+        self._window_deflections = 0
+        self._window_incoming = 0
+
+    # ------------------------------------------------------------------
+    def step(self, cycle: int) -> None:
+        self._update_mode(cycle)
+        if not self.incoming and not self.inj_queue and self.occupancy() == 0:
+            return
+        self._window_incoming += len(self.incoming)
+        if self.mode == BUFFERLESS_MODE and self.occupancy() == 0:
+            self._step_bufferless(cycle)
+        else:
+            self._step_buffered(cycle)
+
+    # ------------------------------------------------------------------
+    def _step_bufferless(self, cycle: int) -> None:
+        """Flit-BLESS semantics: everything leaves this cycle."""
+        flits: List[Flit] = [f for _, f in self.incoming]
+        if self.inj_queue and len(flits) < len(self._link_ports):
+            flit = self.inj_queue.popleft()
+            self.mark_network_entry(flit, cycle)
+            flits.append(flit)
+        if not flits:
+            return
+        ejected = 0
+        survivors: List[Flit] = []
+        for flit in oldest_first(flits):
+            if flit.dst == self.node and ejected < self.config.ejection_ports:
+                ejected += 1
+                self.energy.charge_xbar(flit)
+                self.send(flit, Port.LOCAL, cycle)
+            else:
+                survivors.append(flit)
+        free = [p for p in self._link_ports if not self.out_links[p].busy_next]
+        for flit in survivors:
+            port = None
+            for cand in self.routing.candidates(self.node, flit.dst):
+                if cand != Port.LOCAL and cand in free:
+                    port = cand
+                    break
+            if port is None:
+                port = free[0]
+                flit.deflections += 1
+                self._window_deflections += 1
+            free.remove(port)
+            self.energy.charge_xbar(flit)
+            self.send(flit, port, cycle)
+
+    # ------------------------------------------------------------------
+    def _step_buffered(self, cycle: int) -> None:
+        """Buffered semantics with the 2-stage pipeline: heads + injection
+        arbitrate oldest-first; arrivals are written into the FIFOs
+        (deflecting only on overflow)."""
+        outputs_used: set = set()
+
+        # Must-place pre-pass: full-FIFO inputs cannot absorb their arrival,
+        # so those flits take a port (productive or deflection) before the
+        # waiters can use every output.
+        must: List[Tuple[Port, Flit]] = []
+        rest: List[Tuple[Port, Flit]] = []
+        for in_port, flit in self.incoming:
+            (must if self.fifos[in_port].full else rest).append((in_port, flit))
+        for in_port, flit in sorted(
+            must, key=lambda pf: (pf[1].injected_cycle, pf[1].packet_id, pf[1].flit_index)
+        ):
+            out = None
+            for cand in self.routing.candidates(self.node, flit.dst):
+                if cand not in outputs_used:
+                    out = cand
+                    break
+            if out is None:
+                for cand in self._link_ports:
+                    if cand not in outputs_used and cand != in_port:
+                        out = cand
+                        flit.deflections += 1
+                        self._window_deflections += 1
+                        break
+            if out is None:
+                # Last resort: any free link port (a u-turn). One always
+                # exists because each must-place flit consumes one port and
+                # there are at least as many link ports as arrivals.
+                out = next(p for p in self._link_ports if p not in outputs_used)
+                flit.deflections += 1
+                self._window_deflections += 1
+            outputs_used.add(out)
+            self.energy.charge_xbar(flit)
+            self.send(flit, out, cycle)
+
+        waiters: List[Tuple[Optional[Port], Flit]] = []
+        for port, fifo in self.fifos.items():
+            head = fifo.head()
+            if head is not None:
+                waiters.append((port, head))
+        if self.inj_queue:
+            waiters.append((None, self.inj_queue[0]))
+        waiters.sort(key=lambda w: (w[1].injected_cycle, w[1].packet_id, w[1].flit_index))
+        for port, flit in waiters:
+            out = None
+            for cand in self.routing.candidates(self.node, flit.dst):
+                if cand not in outputs_used:
+                    out = cand
+                    break
+            if out is None:
+                continue
+            outputs_used.add(out)
+            if port is None:
+                self.inj_queue.popleft()
+                self.mark_network_entry(flit, cycle)
+            else:
+                popped = self.fifos[port].pop()
+                assert popped is flit
+            self.energy.charge_xbar(flit)
+            self.send(flit, out, cycle)
+
+        for in_port, flit in rest:
+            flit.buffered_events += 1
+            self.energy.charge_buffer(flit)
+            self.fifos[in_port].push(flit)
+
+    # ------------------------------------------------------------------
+    def occupancy(self) -> int:
+        return sum(len(f) for f in self.fifos.values())

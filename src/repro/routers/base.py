@@ -1,0 +1,175 @@
+"""Abstract router.
+
+The engine drives every router through two phases per cycle:
+
+1. :meth:`BaseRouter.latch` — collect returned credits and take the flits
+   that finished traversing the incident links (the downstream end of the
+   LT stage);
+2. :meth:`BaseRouter.step` — the design-specific SA/ST logic, which may
+   push flits onto output links (starting a new LT) and return credits.
+
+Routers never touch each other's state directly; links and credit channels
+are the only communication, which makes the synchronous update independent
+of router iteration order.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from ..energy.model import EnergyModel
+from ..routing.base import RoutingFunction
+from ..sim.config import SimConfig
+from ..sim.flit import Flit
+from ..sim.link import CreditChannel, Link
+from ..sim.ports import Port
+from ..sim.topology import Mesh
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.network import Network
+
+
+class BaseRouter(ABC):
+    """Common state and plumbing for all router designs."""
+
+    #: whether the design uses credit-based flow control toward its input
+    #: buffers (bufferless designs override to False).
+    uses_credits: bool = True
+
+    def __init__(
+        self,
+        node: int,
+        mesh: Mesh,
+        routing: RoutingFunction,
+        energy: EnergyModel,
+        config: SimConfig,
+    ) -> None:
+        self.node = node
+        self.mesh = mesh
+        self.routing = routing
+        self.energy = energy
+        self.stats = energy.stats
+        self.config = config
+        self.network: Optional["Network"] = None  # set by Network wiring
+
+        # Link endpoints, filled in by the network builder.  Keys are the
+        # ports that physically exist at this node.
+        self.in_links: Dict[Port, Link] = {}
+        self.out_links: Dict[Port, Link] = {}
+        # Credits we hold for each downstream input buffer (per out port).
+        self.credits: Dict[Port, int] = {}
+        self.credit_in: Dict[Port, CreditChannel] = {}  # returns to us
+        self.credit_out: Dict[Port, CreditChannel] = {}  # we return upstream
+
+        # Source queue (infinite, inside the PE).
+        self.inj_queue: deque = deque()
+
+        # Flits latched from the links this cycle: (arrival port, flit).
+        self.incoming: List[Tuple[Port, Flit]] = []
+
+    # ------------------------------------------------------------------
+    # wiring hooks (called by Network)
+    # ------------------------------------------------------------------
+    def attach_network(self, network: "Network") -> None:
+        self.network = network
+
+    def credit_budget(self) -> int:
+        """Downstream buffer slots an upstream router may assume.
+
+        Subclasses with different buffer organisations override this; the
+        value seeds the *upstream* router's ``credits`` counter for the link
+        pointing at us.
+        """
+        return self.config.buffer_depth
+
+    def finalize_wiring(self) -> None:
+        """Called once after all links/credits are attached."""
+
+    # ------------------------------------------------------------------
+    # per-cycle protocol
+    # ------------------------------------------------------------------
+    def latch(self, cycle: int) -> None:
+        """Phase 1: absorb credits and arriving flits."""
+        if self.uses_credits:
+            for port, chan in self.credit_in.items():
+                got = chan.collect()
+                if got:
+                    self.credits[port] += got
+
+        self.incoming.clear()
+        for port, link in self.in_links.items():
+            flit = link.take()
+            if flit is not None:
+                self.incoming.append((port, flit))
+
+    @abstractmethod
+    def step(self, cycle: int) -> None:
+        """Phase 2: allocate and traverse (design-specific)."""
+
+    # ------------------------------------------------------------------
+    # injection interface (used by traffic generators via Network)
+    # ------------------------------------------------------------------
+    def enqueue_flit(self, flit: Flit) -> None:
+        """Append a flit to the PE source queue."""
+        self.inj_queue.append(flit)
+        self.stats.record_flit_injection(flit)
+
+    @property
+    def source_queue_len(self) -> int:
+        return len(self.inj_queue)
+
+    # ------------------------------------------------------------------
+    # helpers for subclasses
+    # ------------------------------------------------------------------
+    def send(self, flit: Flit, port: Port, cycle: int) -> None:
+        """Drive ``flit`` through output ``port``: ejection for LOCAL, link
+        traversal otherwise.  Crossbar energy is charged by the caller
+        (designs differ in which crossbar the flit crossed)."""
+        if port == Port.LOCAL:
+            assert flit.dst == self.node, "ejecting a flit at a foreign node"
+            self.network.eject(flit, cycle)
+        else:
+            flit.hops += 1
+            self.energy.charge_link(flit)
+            self.out_links[port].push(flit)
+
+    def has_credit(self, port: Port) -> bool:
+        """True when a flit may be sent toward ``port`` (LOCAL always may;
+        bufferless downstream designs never block)."""
+        if port == Port.LOCAL or not self.uses_credits:
+            return True
+        return self.credits[port] > 0
+
+    def consume_credit(self, port: Port) -> None:
+        if port != Port.LOCAL and self.uses_credits:
+            if self.credits[port] <= 0:
+                raise RuntimeError(
+                    f"router {self.node} sent to {port.name} without credit"
+                )
+            self.credits[port] -= 1
+
+    def return_credit(self, in_port: Port) -> None:
+        """Give one buffer slot back to the upstream router on ``in_port``."""
+        if in_port != Port.LOCAL and self.uses_credits:
+            self.credit_out[in_port].send(1)
+
+    def mark_network_entry(self, flit: Flit, cycle: int) -> None:
+        if flit.network_entry_cycle < 0:
+            flit.network_entry_cycle = cycle
+            self.stats.per_node_entries[self.node] += 1
+
+    # ------------------------------------------------------------------
+    # introspection (tests / draining)
+    # ------------------------------------------------------------------
+    def occupancy(self) -> int:
+        """Number of flits held inside the router (excluding source queue).
+
+        Subclasses with buffers override.
+        """
+        return 0
+
+    def pending_flits(self) -> int:
+        """Total flits this router still owes the network."""
+        return self.occupancy() + len(self.inj_queue)

@@ -1,0 +1,18 @@
+"""Routing algorithms and the analytic channel-load model."""
+
+from .adaptive import MinimalAdaptiveRouting
+from .base import RoutingFunction
+from .capacity import average_hops, channel_capacity, channel_loads, max_channel_load
+from .dor import DORRouting
+from .westfirst import WestFirstRouting
+
+__all__ = [
+    "MinimalAdaptiveRouting",
+    "RoutingFunction",
+    "average_hops",
+    "channel_capacity",
+    "channel_loads",
+    "max_channel_load",
+    "DORRouting",
+    "WestFirstRouting",
+]

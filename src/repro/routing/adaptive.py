@@ -1,0 +1,35 @@
+"""Fully-minimal adaptive candidates (used by Flit-BLESS and SCARAB).
+
+Returns every productive port, larger-remaining-dimension first.  The
+bufferless designs do not need a turn restriction for deadlock freedom:
+BLESS never blocks (deflection) and SCARAB never blocks (drop), so the only
+requirement is livelock control, which BLESS gets from age priority and
+SCARAB from retransmission.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..sim.ports import Port
+from .base import RoutingFunction
+
+
+class MinimalAdaptiveRouting(RoutingFunction):
+    """All minimal productive ports, in load-balancing preference order."""
+
+    name = "adaptive"
+
+    def _compute(self, cur: int, dst: int) -> Tuple[Port, ...]:
+        dx, dy = self.mesh.delta(cur, dst)
+        cands: List[Tuple[int, Port]] = []
+        if dx > 0:
+            cands.append((dx, Port.EAST))
+        elif dx < 0:
+            cands.append((-dx, Port.WEST))
+        if dy > 0:
+            cands.append((dy, Port.NORTH))
+        elif dy < 0:
+            cands.append((-dy, Port.SOUTH))
+        cands.sort(key=lambda t: (-t[0], t[1]))
+        return tuple(port for _, port in cands)

@@ -1,0 +1,30 @@
+"""Dimension-ordered (XY) routing.
+
+DOR routes the X dimension to completion before turning into Y.  It is
+deadlock-free on a mesh because the channel dependency graph of XY turns is
+acyclic, which is what lets the buffered designs (and DXbar-DOR) run without
+virtual channels.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..sim.ports import Port
+from .base import RoutingFunction
+
+
+class DORRouting(RoutingFunction):
+    """Deterministic XY routing: exactly one candidate port per hop."""
+
+    name = "dor"
+
+    def _compute(self, cur: int, dst: int) -> Tuple[Port, ...]:
+        dx, dy = self.mesh.delta(cur, dst)
+        if dx > 0:
+            return (Port.EAST,)
+        if dx < 0:
+            return (Port.WEST,)
+        if dy > 0:
+            return (Port.NORTH,)
+        return (Port.SOUTH,)

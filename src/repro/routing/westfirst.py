@@ -1,0 +1,43 @@
+"""West-First minimal-adaptive routing (turn model).
+
+West-First forbids every turn *into* the west direction: if the destination
+lies to the west the flit must travel the full westward distance first
+(deterministically), after which it may adaptively pick among the remaining
+productive directions.  Restricting to minimal productive ports keeps the
+algorithm livelock-free; the turn restriction makes it deadlock-free
+without virtual channels (Glass & Ni).
+
+Candidate ordering prefers the dimension with more remaining hops, which
+balances channel load when the router gets to choose.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..sim.ports import Port
+from .base import RoutingFunction
+
+
+class WestFirstRouting(RoutingFunction):
+    """Minimal-adaptive West-First: 1-2 candidate ports per hop."""
+
+    name = "wf"
+
+    def _compute(self, cur: int, dst: int) -> Tuple[Port, ...]:
+        dx, dy = self.mesh.delta(cur, dst)
+        if dx < 0:
+            # Must go west first; no adaptivity is permitted while a
+            # westward hop remains.
+            return (Port.WEST,)
+        cands: List[Tuple[int, Port]] = []
+        if dx > 0:
+            cands.append((dx, Port.EAST))
+        if dy > 0:
+            cands.append((dy, Port.NORTH))
+        elif dy < 0:
+            cands.append((-dy, Port.SOUTH))
+        # Prefer the direction with the larger remaining distance; stable
+        # tie-break on port index keeps the table deterministic.
+        cands.sort(key=lambda t: (-t[0], t[1]))
+        return tuple(port for _, port in cands)

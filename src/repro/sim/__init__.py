@@ -1,0 +1,28 @@
+"""Cycle-accurate NoC simulation substrate."""
+
+from .config import FaultConfig, SimConfig
+from .engine import Simulator, run_simulation
+from .flit import Flit, make_packet
+from .link import CreditChannel, Link
+from .network import Network
+from .ports import DIRECTIONS, NUM_PORTS, Port
+from .stats import SimResult, StatsCollector
+from .topology import Mesh
+
+__all__ = [
+    "FaultConfig",
+    "SimConfig",
+    "Simulator",
+    "run_simulation",
+    "Flit",
+    "make_packet",
+    "CreditChannel",
+    "Link",
+    "Network",
+    "DIRECTIONS",
+    "NUM_PORTS",
+    "Port",
+    "SimResult",
+    "StatsCollector",
+    "Mesh",
+]

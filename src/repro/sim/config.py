@@ -1,0 +1,154 @@
+"""Simulation configuration.
+
+One :class:`SimConfig` fully determines a run: design, routing, topology,
+traffic, measurement protocol, fault plan and seeds.  It validates eagerly
+so that sweep harnesses fail fast on bad parameter grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+#: Designs accepted by the factory in :mod:`repro.designs`.
+KNOWN_DESIGNS = (
+    "flit_bless",
+    "scarab",
+    "buffered4",
+    "buffered8",
+    "dxbar_dor",
+    "dxbar_wf",
+    "unified_dor",
+    "unified_wf",
+    "afc",
+)
+
+#: Synthetic patterns from Section III.A.
+KNOWN_PATTERNS = ("UR", "NUR", "BR", "BF", "CP", "MT", "PS", "NB", "TOR")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Crossbar fault-injection plan (Section II.C / III.E).
+
+    ``percent`` is the paper's x-axis: the share of routers that develop one
+    permanent fault (100 == a fault in *every* router).
+    ``detection_cycles`` is the assumed BIST latency (paper: 5).
+    ``manifest_window`` bounds the uniformly-random cycle at which each
+    fault manifests, so reconfiguration events are spread across warmup.
+    ``granularity`` selects whole-``crossbar`` faults (the paper's
+    evaluation) or single broken ``crosspoint`` faults (an extension the
+    paper names as the physical fault origin).
+    """
+
+    percent: float = 0.0
+    detection_cycles: int = 5
+    manifest_window: int = 500
+    seed: int = 12345
+    granularity: str = "crossbar"
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.percent <= 100.0):
+            raise ValueError(f"fault percent must be in [0, 100], got {self.percent}")
+        if self.detection_cycles < 0:
+            raise ValueError("detection_cycles must be >= 0")
+        if self.manifest_window < 1:
+            raise ValueError("manifest_window must be >= 1")
+        if self.granularity not in ("crossbar", "crosspoint"):
+            raise ValueError(
+                f"granularity must be 'crossbar' or 'crosspoint', got {self.granularity!r}"
+            )
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """All knobs of one simulation run.
+
+    Parameters mirror the paper's methodology: 8x8 mesh, Bernoulli packet
+    injection at a fraction of network capacity, 4-flit input buffers, a
+    fairness threshold of 4, and a 5-cycle BIST detection delay.
+    """
+
+    design: str = "dxbar_dor"
+    k: int = 8
+    pattern: str = "UR"
+    offered_load: float = 0.3  # fraction of pattern capacity
+    packet_size: int = 4  # flits per packet (64 B cache line @ 128-bit flits)
+    warmup_cycles: int = 1000
+    measure_cycles: int = 4000
+    drain_cycles: int = 2000
+    seed: int = 1
+    buffer_depth: int = 4
+    fairness_threshold: int = 4
+    ejection_ports: int = 1  # simultaneous ejections in bufferless designs
+    link_latency: int = 2  # ST cycle + LT cycle (see repro.sim.link)
+    faults: FaultConfig = field(default_factory=FaultConfig)
+    # Closed-loop (trace / SPLASH-2) runs ignore offered_load and stop when
+    # the workload completes or max_cycles elapses.
+    max_cycles: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.design not in KNOWN_DESIGNS:
+            raise ValueError(
+                f"unknown design {self.design!r}; expected one of {KNOWN_DESIGNS}"
+            )
+        if self.pattern not in KNOWN_PATTERNS:
+            raise ValueError(
+                f"unknown pattern {self.pattern!r}; expected one of {KNOWN_PATTERNS}"
+            )
+        if self.k < 2:
+            raise ValueError("mesh radix k must be >= 2")
+        if not (0.0 <= self.offered_load <= 2.0):
+            raise ValueError("offered_load is a fraction of capacity in [0, 2]")
+        if self.packet_size < 1:
+            raise ValueError("packet_size must be >= 1")
+        if min(self.warmup_cycles, self.measure_cycles, self.drain_cycles) < 0:
+            raise ValueError("cycle counts must be non-negative")
+        if self.measure_cycles == 0:
+            raise ValueError("measure_cycles must be positive")
+        if self.buffer_depth < 1:
+            raise ValueError("buffer_depth must be >= 1")
+        if self.fairness_threshold < 1:
+            raise ValueError("fairness_threshold must be >= 1")
+        if self.ejection_ports < 1:
+            raise ValueError("ejection_ports must be >= 1")
+        if self.link_latency < 1:
+            raise ValueError("link_latency must be >= 1")
+        if self.faults.percent > 0 and not self.design.startswith(("dxbar", "unified")):
+            raise ValueError(
+                "crossbar fault injection is defined for the dual-crossbar "
+                "designs only (dxbar_*/unified_*)"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def total_cycles(self) -> int:
+        return self.warmup_cycles + self.measure_cycles + self.drain_cycles
+
+    @property
+    def num_nodes(self) -> int:
+        return self.k * self.k
+
+    @property
+    def base_design(self) -> str:
+        """Design family without the routing suffix (``dxbar_wf`` -> ``dxbar``)."""
+        for suffix in ("_dor", "_wf"):
+            if self.design.endswith(suffix):
+                return self.design[: -len(suffix)]
+        return self.design
+
+    @property
+    def routing(self) -> str:
+        """``dor`` or ``wf``.  Bufferless baselines use minimal-adaptive
+        port selection internally and report ``adaptive``."""
+        if self.design.endswith("_wf"):
+            return "wf"
+        if self.design.endswith("_dor"):
+            return "dor"
+        if self.design in ("flit_bless", "scarab", "afc"):
+            return "adaptive"
+        return "dor"
+
+    def with_(self, **kwargs) -> "SimConfig":
+        """Return a copy with fields replaced (sweep helper)."""
+        return replace(self, **kwargs)

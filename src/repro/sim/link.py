@@ -1,0 +1,121 @@
+"""Pipelined links and credit return channels.
+
+Both classes implement shift-register semantics so the network update is
+order-independent: a value pushed during cycle ``t`` becomes visible to the
+consumer only after :meth:`step` shifts the pipeline.
+
+The default link ``latency`` is 2 cycles, which realises the paper's router
+pipelines exactly: a flit switched (SA/ST) at cycle ``t`` spends cycle
+``t+1`` in link traversal (LT) and is available for switch allocation at the
+downstream router at cycle ``t+2`` — i.e. 2 cycles per hop for DXbar /
+Flit-BLESS / SCARAB, plus one extra RC cycle for the 3-stage buffered
+baseline (modelled via ``Flit.ready_cycle``).  Throughput is one flit per
+cycle regardless of latency (the LT stage is pipelined).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .flit import Flit
+
+
+class Link:
+    """One directed inter-router link with configurable pipeline latency."""
+
+    __slots__ = ("src", "dst", "latency", "_regs", "_next")
+
+    def __init__(self, src: int, dst: int, latency: int = 2) -> None:
+        if latency < 1:
+            raise ValueError("link latency must be >= 1")
+        self.src = src
+        self.dst = dst
+        self.latency = latency
+        # _regs[-1] is the downstream-visible register; _regs[0] receives
+        # the staged flit at the next step().
+        self._regs: List[Optional[Flit]] = [None] * latency
+        self._next: Optional[Flit] = None
+
+    def push(self, flit: Flit) -> None:
+        """Stage ``flit`` onto the link (the ST->LT register write)."""
+        if self._next is not None:
+            raise RuntimeError(
+                f"link {self.src}->{self.dst} double-driven in one cycle"
+            )
+        self._next = flit
+
+    def take(self) -> Optional[Flit]:
+        """Consume the flit that finished traversing the link, if any."""
+        flit = self._regs[-1]
+        self._regs[-1] = None
+        return flit
+
+    def peek(self) -> Optional[Flit]:
+        """Non-destructively inspect the arriving flit."""
+        return self._regs[-1]
+
+    @property
+    def busy_next(self) -> bool:
+        """True when a flit has already been staged this cycle."""
+        return self._next is not None
+
+    def in_flight(self) -> int:
+        """Number of flits currently inside the link pipeline."""
+        n = sum(1 for r in self._regs if r is not None)
+        return n + (1 if self._next is not None else 0)
+
+    def step(self) -> None:
+        """Shift the pipeline by one cycle."""
+        if self._regs[-1] is not None:
+            # Consumers must drain their inputs every cycle; both the
+            # bufferless contract and the credit protocol guarantee it.
+            raise RuntimeError(
+                f"flit stranded on link {self.src}->{self.dst}: "
+                "downstream failed to latch its input"
+            )
+        for i in range(self.latency - 1, 0, -1):
+            self._regs[i] = self._regs[i - 1]
+        self._regs[0] = self._next
+        self._next = None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Link({self.src}->{self.dst}, regs={self._regs}, next={self._next})"
+
+
+class CreditChannel:
+    """Credit-return wire from a downstream input buffer to its upstream
+    router, with a 1-cycle propagation delay.
+
+    The downstream router calls :meth:`send` each time a buffer slot frees
+    (or a flit bypassed the buffer entirely); the upstream router calls
+    :meth:`collect` at the start of its cycle to top up its credit counter.
+    """
+
+    __slots__ = ("_now", "_next")
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._next = 0
+
+    def send(self, count: int = 1) -> None:
+        """Return ``count`` credits upstream (visible next cycle)."""
+        if count < 0:
+            raise ValueError("credit count must be non-negative")
+        self._next += count
+
+    def collect(self) -> int:
+        """Upstream side: take all credits that arrived this cycle."""
+        got = self._now
+        self._now = 0
+        return got
+
+    def in_flight(self) -> int:
+        return self._now + self._next
+
+    def step(self) -> None:
+        """Shift the credit pipeline by one cycle."""
+        self._now += self._next
+        self._next = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"CreditChannel(now={self._now}, next={self._next})"

@@ -1,0 +1,198 @@
+"""Network construction and the synchronous cycle update.
+
+The :class:`Network` owns the routers, links, credit channels and the fault
+plan, and exposes the flit injection/ejection endpoints used by workloads.
+One :meth:`step` is one clock cycle of the whole mesh.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from ..core.faults import FaultPlan
+from ..energy.model import EnergyModel
+from .config import SimConfig
+from .flit import make_packet
+from .link import CreditChannel, Link
+from .ports import OPPOSITE, Port
+from .stats import StatsCollector
+from .topology import Mesh
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..routers.base import BaseRouter
+
+
+class Network:
+    """An ``k x k`` mesh of routers of one design."""
+
+    def __init__(self, config: SimConfig, stats: StatsCollector) -> None:
+        # Imported here to avoid a designs <-> network import cycle.
+        from ..designs import build_router, build_routing
+
+        self.config = config
+        self.stats = stats
+        self.mesh = Mesh(config.k)
+        self.routing = build_routing(config, self.mesh)
+        self.energy = EnergyModel.for_design(config.design, stats)
+
+        self.routers: List["BaseRouter"] = [
+            build_router(config, node, self.mesh, self.routing, self.energy)
+            for node in self.mesh.nodes()
+        ]
+        self.links: List[Link] = []
+        self.credit_channels: List[CreditChannel] = []
+        self._wire()
+        self._apply_faults()
+
+        self.workload = None  # set by the Simulator
+        self.cycle = 0
+        self._active_flits = 0
+        self._next_packet_id = 0
+        self._next_flit_id = 0
+        self._adaptive_routing = None
+
+    @property
+    def adaptive_routing(self):
+        """Shared minimal-adaptive routing table, built on first use.
+
+        Crosspoint-fault runs use it as the escalation table: a flit that
+        keeps getting deflected off a dead crosspoint switches to adaptive
+        minimal port selection to reach its destination from a live input.
+        """
+        if self._adaptive_routing is None:
+            from ..routing.adaptive import MinimalAdaptiveRouting
+
+            self._adaptive_routing = MinimalAdaptiveRouting(self.mesh)
+        return self._adaptive_routing
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _wire(self) -> None:
+        uses_credits = self.routers[0].uses_credits
+        for src, out_port, dst in self.mesh.edges():
+            link = Link(src, dst, latency=self.config.link_latency)
+            self.links.append(link)
+            up, down = self.routers[src], self.routers[dst]
+            in_port = OPPOSITE[out_port]
+            up.out_links[out_port] = link
+            down.in_links[in_port] = link
+            if uses_credits:
+                chan = CreditChannel()
+                self.credit_channels.append(chan)
+                up.credit_in[out_port] = chan
+                up.credits[out_port] = down.credit_budget()
+                down.credit_out[in_port] = chan
+        for router in self.routers:
+            router.attach_network(self)
+            router.finalize_wiring()
+
+    def _apply_faults(self) -> None:
+        if self.config.faults.percent <= 0:
+            return
+        plan = FaultPlan(self.config.faults, self.mesh.num_nodes)
+        self.fault_plan: Optional[FaultPlan] = plan
+        for node in plan.faulty_nodes:
+            router = self.routers[node]
+            if not hasattr(router, "fault"):
+                raise TypeError(
+                    f"design {self.config.design!r} does not support crossbar faults"
+                )
+            router.fault = plan.fault_for(node)
+
+    # ------------------------------------------------------------------
+    # flit endpoints
+    # ------------------------------------------------------------------
+    def router_at(self, node: int) -> "BaseRouter":
+        return self.routers[node]
+
+    def inject_packet(
+        self,
+        src: int,
+        dst: int,
+        cycle: int,
+        num_flits: Optional[int] = None,
+        measured: Optional[bool] = None,
+        reply_tag=None,
+    ) -> int:
+        """Enqueue one packet at the PE source queue of ``src``.
+
+        Returns the packet id.  ``measured`` defaults to "injected inside
+        the measurement window".
+        """
+        if src == dst:
+            raise ValueError("a packet's destination must differ from its source")
+        n = num_flits if num_flits is not None else self.config.packet_size
+        m = measured if measured is not None else self.stats.in_window(cycle)
+        pid = self._next_packet_id
+        self._next_packet_id += 1
+        flits = make_packet(
+            self._next_flit_id, pid, src, dst, cycle, n, m, reply_tag=reply_tag
+        )
+        self._next_flit_id += n
+        self.stats.record_packet_injection(pid, cycle, n, m)
+        router = self.routers[src]
+        for flit in flits:
+            router.enqueue_flit(flit)
+        self._active_flits += n
+        return pid
+
+    def eject(self, flit, cycle: int) -> None:
+        """A flit reached its destination PE (called by routers)."""
+        self.stats.record_ejection(flit, cycle)
+        self._active_flits -= 1
+        if self.workload is not None:
+            self.workload.on_eject(flit, cycle, self)
+
+    # ------------------------------------------------------------------
+    # simulation
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the whole network by one clock cycle."""
+        cycle = self.cycle
+        routers = self.routers
+        for router in routers:
+            router.latch(cycle)
+        for router in routers:
+            router.step(cycle)
+        for link in self.links:
+            link.step()
+        for chan in self.credit_channels:
+            chan.step()
+        self.cycle = cycle + 1
+
+    # ------------------------------------------------------------------
+    # introspection / invariants
+    # ------------------------------------------------------------------
+    @property
+    def active_flits(self) -> int:
+        """Flits injected but not yet ejected (includes source queues,
+        buffers, links and SCARAB retransmission queues)."""
+        return self._active_flits
+
+    def quiescent(self) -> bool:
+        return self._active_flits == 0
+
+    def flits_in_links(self) -> int:
+        return sum(link.in_flight() for link in self.links)
+
+    def flits_in_routers(self) -> int:
+        return sum(r.pending_flits() for r in self.routers)
+
+    def check_conservation(self) -> None:
+        """Every injected flit is either ejected or somewhere accountable.
+
+        SCARAB flits travelling as NACK state are held in the source
+        retransmission queues, which ``pending_flits`` includes.  Incoming
+        latch buffers are transient within a cycle and always empty here.
+        """
+        accounted = (
+            self.stats.total_ejected_flits
+            + self.flits_in_links()
+            + self.flits_in_routers()
+        )
+        if accounted != self.stats.total_injected_flits:
+            raise AssertionError(
+                f"flit conservation violated: injected="
+                f"{self.stats.total_injected_flits} accounted={accounted}"
+            )

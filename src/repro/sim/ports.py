@@ -1,0 +1,89 @@
+"""Port definitions and direction geometry for 2D-mesh routers.
+
+The coordinate convention used throughout the package:
+
+* ``x`` is the column index, increasing toward :data:`Port.EAST`.
+* ``y`` is the row index, increasing toward :data:`Port.NORTH`.
+* a node id is ``y * k + x`` for a ``k x k`` mesh.
+
+Every router has up to five ports: the four cardinal directions plus
+:data:`Port.LOCAL` (the processing-element injection/ejection port).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Tuple
+
+
+class Port(IntEnum):
+    """Router port identifiers.
+
+    The integer values are stable and used as array indices in the hot
+    simulation loop, so they must remain ``0..4``.
+    """
+
+    NORTH = 0
+    EAST = 1
+    SOUTH = 2
+    WEST = 3
+    LOCAL = 4
+
+    @property
+    def is_direction(self) -> bool:
+        """True for the four cardinal link ports, False for LOCAL."""
+        return self is not Port.LOCAL
+
+
+#: The four cardinal link ports in index order.
+DIRECTIONS: Tuple[Port, Port, Port, Port] = (
+    Port.NORTH,
+    Port.EAST,
+    Port.SOUTH,
+    Port.WEST,
+)
+
+#: Number of cardinal directions.
+NUM_DIRECTIONS = 4
+
+#: Total number of router ports (cardinal + local).
+NUM_PORTS = 5
+
+#: ``OPPOSITE[p]`` is the port on the neighbouring router that faces ``p``.
+OPPOSITE = {
+    Port.NORTH: Port.SOUTH,
+    Port.SOUTH: Port.NORTH,
+    Port.EAST: Port.WEST,
+    Port.WEST: Port.EAST,
+}
+
+#: ``DELTA[p]`` is the (dx, dy) displacement of moving out through port ``p``.
+DELTA = {
+    Port.NORTH: (0, 1),
+    Port.EAST: (1, 0),
+    Port.SOUTH: (0, -1),
+    Port.WEST: (-1, 0),
+}
+
+
+def port_toward(dx: int, dy: int) -> Port:
+    """Return the single cardinal port that reduces the larger of the two
+    displacement components, preferring X (used by DOR tie-breaking).
+
+    ``dx``/``dy`` are ``dest - current`` deltas. Raises ``ValueError`` when
+    both are zero (the flit is already at its destination).
+    """
+    if dx > 0:
+        return Port.EAST
+    if dx < 0:
+        return Port.WEST
+    if dy > 0:
+        return Port.NORTH
+    if dy < 0:
+        return Port.SOUTH
+    raise ValueError("port_toward called with zero displacement")
+
+
+def opposite(port: Port) -> Port:
+    """Return the facing port on the neighbouring router."""
+    return OPPOSITE[port]

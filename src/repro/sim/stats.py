@@ -1,0 +1,285 @@
+"""Statistics collection and simulation results.
+
+A single :class:`StatsCollector` instance is shared by every router, link
+and traffic source of one simulation.  It distinguishes a *measurement
+window*: only flits injected inside the window contribute to latency /
+throughput / energy averages, while raw totals are always kept (they feed
+invariant checks such as flit conservation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .flit import Flit
+
+
+class StatsCollector:
+    """Mutable per-simulation counters.
+
+    Energy is accumulated in picojoules and reported in nanojoules.  The
+    per-event charging is done by :class:`repro.energy.model.EnergyModel`,
+    which owns the constants; this class only stores the totals so that the
+    hot loop does one float add per event.
+    """
+
+    def __init__(self, num_nodes: int) -> None:
+        self.num_nodes = num_nodes
+        self.measure_start = 0
+        self.measure_end = 0
+
+        # Raw totals (all flits, including warmup/drain).
+        self.total_injected_flits = 0
+        self.total_ejected_flits = 0
+        self.total_dropped_flits = 0  # SCARAB in-flight drops awaiting retx
+
+        # Measured-window counters.
+        self.injected_flits = 0
+        self.ejected_flits = 0
+        self.ejected_in_window = 0
+        self.flit_latency_sum = 0
+        self.network_latency_sum = 0
+        self.hops_sum = 0
+        self.deflections = 0
+        self.drops = 0
+        self.retransmissions = 0
+        self.buffered_flit_events = 0
+        self.xbar_traversals = 0
+        self.link_traversals = 0
+        self.fairness_flips = 0
+        self.allocator_swaps = 0
+        self.fault_reconfigurations = 0
+
+        # Energy in pJ, measured flits only.
+        self.energy_buffer_pj = 0.0
+        self.energy_xbar_pj = 0.0
+        self.energy_link_pj = 0.0
+        self.energy_nack_pj = 0.0
+
+        # Packet reassembly: packet_id -> number of flits still in flight.
+        self._pending_packets: Dict[int, int] = {}
+        self._packet_birth: Dict[int, int] = {}
+        self._packet_energy: Dict[int, float] = {}
+        self._packet_measured: Dict[int, bool] = {}
+        self.packet_latencies: List[int] = []
+        self.packet_energies_pj: List[float] = []
+        self.packets_completed = 0
+        self.packets_injected = 0
+        # Measured packets still in flight — the engine drains until this
+        # reaches zero so per-packet stats carry no survivor bias.
+        self.measured_pending = 0
+
+        # Per-node counts (fairness analysis): source-queue arrivals,
+        # actual network entries (source-queue departures) and ejections.
+        self.per_node_ejected = [0] * num_nodes
+        self.per_node_injected = [0] * num_nodes
+        self.per_node_entries = [0] * num_nodes
+
+    # ------------------------------------------------------------------
+    # window control
+    # ------------------------------------------------------------------
+    def set_window(self, start: int, end: int) -> None:
+        """Define the measurement window ``[start, end)`` in cycles."""
+        if end < start:
+            raise ValueError("measurement window must have end >= start")
+        self.measure_start = start
+        self.measure_end = end
+
+    def in_window(self, cycle: int) -> bool:
+        return self.measure_start <= cycle < self.measure_end
+
+    # ------------------------------------------------------------------
+    # event recording
+    # ------------------------------------------------------------------
+    def record_packet_injection(self, packet_id: int, cycle: int, num_flits: int, measured: bool) -> None:
+        self._pending_packets[packet_id] = num_flits
+        self._packet_birth[packet_id] = cycle
+        self._packet_energy[packet_id] = 0.0
+        self._packet_measured[packet_id] = measured
+        if measured:
+            self.packets_injected += 1
+            self.measured_pending += 1
+
+    def record_flit_injection(self, flit: Flit) -> None:
+        self.total_injected_flits += 1
+        self.per_node_injected[flit.src] += 1
+        if flit.measured:
+            self.injected_flits += 1
+
+    def record_ejection(self, flit: Flit, cycle: int) -> None:
+        """A flit reached its destination PE."""
+        self.total_ejected_flits += 1
+        self.per_node_ejected[flit.dst] += 1
+        # Throughput is a property of the network, not of the measured
+        # cohort: count every ejection that lands inside the window (at
+        # high load the window drains backlog injected before it).
+        if self.in_window(cycle):
+            self.ejected_in_window += 1
+        if flit.measured:
+            self.ejected_flits += 1
+            self.flit_latency_sum += cycle - flit.injected_cycle
+            if flit.network_entry_cycle >= 0:
+                self.network_latency_sum += cycle - flit.network_entry_cycle
+            self.hops_sum += flit.hops
+            self.deflections += flit.deflections
+            self.buffered_flit_events += flit.buffered_events
+            self.retransmissions += flit.retransmits
+        remaining = self._pending_packets.get(flit.packet_id)
+        if remaining is not None:
+            self._packet_energy[flit.packet_id] += flit.energy_pj
+            remaining -= 1
+            if remaining == 0:
+                del self._pending_packets[flit.packet_id]
+                birth = self._packet_birth.pop(flit.packet_id)
+                energy = self._packet_energy.pop(flit.packet_id)
+                measured = self._packet_measured.pop(flit.packet_id)
+                self.packets_completed += 1
+                if measured:
+                    self.measured_pending -= 1
+                    self.packet_latencies.append(cycle - birth)
+                    self.packet_energies_pj.append(energy)
+            else:
+                self._pending_packets[flit.packet_id] = remaining
+
+    def record_drop(self, flit: Flit) -> None:
+        self.total_dropped_flits += 1
+        if flit.measured:
+            self.drops += 1
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def result(
+        self,
+        *,
+        design: str,
+        offered_load: float,
+        capacity: float,
+        cycles: int,
+        final_cycle: int,
+        extra: Optional[dict] = None,
+    ) -> "SimResult":
+        """Freeze the collector into an immutable :class:`SimResult`."""
+        window = max(1, self.measure_end - self.measure_start)
+        accepted_rate = self.ejected_in_window / (self.num_nodes * window)
+        return SimResult(
+            design=design,
+            offered_load=offered_load,
+            capacity=capacity,
+            cycles=cycles,
+            final_cycle=final_cycle,
+            injected_flits=self.injected_flits,
+            ejected_flits=self.ejected_flits,
+            accepted_flits_per_node_cycle=accepted_rate,
+            accepted_load=accepted_rate / capacity if capacity > 0 else 0.0,
+            avg_flit_latency=(
+                self.flit_latency_sum / self.ejected_flits if self.ejected_flits else 0.0
+            ),
+            avg_network_latency=(
+                self.network_latency_sum / self.ejected_flits if self.ejected_flits else 0.0
+            ),
+            avg_hops=(self.hops_sum / self.ejected_flits if self.ejected_flits else 0.0),
+            avg_packet_latency=(
+                sum(self.packet_latencies) / len(self.packet_latencies)
+                if self.packet_latencies
+                else 0.0
+            ),
+            avg_packet_energy_nj=(
+                sum(self.packet_energies_pj) / len(self.packet_energies_pj) / 1e3
+                if self.packet_energies_pj
+                else 0.0
+            ),
+            measured_packets_completed=len(self.packet_latencies),
+            packets_completed=self.packets_completed,
+            deflections_per_flit=(
+                self.deflections / self.ejected_flits if self.ejected_flits else 0.0
+            ),
+            buffered_fraction=(
+                self.buffered_flit_events / max(1, self.hops_sum)
+            ),
+            retransmissions=self.retransmissions,
+            drops=self.drops,
+            fairness_flips=self.fairness_flips,
+            allocator_swaps=self.allocator_swaps,
+            fault_reconfigurations=self.fault_reconfigurations,
+            energy_buffer_nj=self.energy_buffer_pj / 1e3,
+            energy_xbar_nj=self.energy_xbar_pj / 1e3,
+            energy_link_nj=self.energy_link_pj / 1e3,
+            energy_nack_nj=self.energy_nack_pj / 1e3,
+            extra=dict(extra or {}),
+        )
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Immutable summary of one simulation run.
+
+    Loads are expressed both in flits/node/cycle and as a fraction of the
+    pattern's network capacity (the paper's x-axis).
+    """
+
+    design: str
+    offered_load: float  # fraction of capacity
+    capacity: float  # flits/node/cycle at fraction 1.0
+    cycles: int
+    final_cycle: int
+    injected_flits: int
+    ejected_flits: int
+    accepted_flits_per_node_cycle: float
+    accepted_load: float  # fraction of capacity
+    avg_flit_latency: float
+    avg_network_latency: float
+    avg_hops: float
+    avg_packet_latency: float
+    avg_packet_energy_nj: float
+    measured_packets_completed: int
+    packets_completed: int
+    deflections_per_flit: float
+    buffered_fraction: float
+    retransmissions: int
+    drops: int
+    fairness_flips: int
+    allocator_swaps: int
+    fault_reconfigurations: int
+    energy_buffer_nj: float
+    energy_xbar_nj: float
+    energy_link_nj: float
+    energy_nack_nj: float
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def total_energy_nj(self) -> float:
+        return (
+            self.energy_buffer_nj
+            + self.energy_xbar_nj
+            + self.energy_link_nj
+            + self.energy_nack_nj
+        )
+
+    @property
+    def energy_per_packet_nj(self) -> float:
+        """Average network energy per completed packet (the Fig 6/8/10
+        metric).  Computed from exact per-packet accounting so packets still
+        in flight bias neither the numerator nor the denominator; falls back
+        to the aggregate ratio when no measured packet completed."""
+        if self.avg_packet_energy_nj > 0.0:
+            return self.avg_packet_energy_nj
+        if self.packets_completed == 0:
+            return 0.0
+        return self.total_energy_nj / self.packets_completed
+
+    @property
+    def energy_per_flit_pj(self) -> float:
+        if self.ejected_flits == 0:
+            return 0.0
+        return self.total_energy_nj * 1e3 / self.ejected_flits
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.design}: offered={self.offered_load:.2f} "
+            f"accepted={self.accepted_load:.3f} "
+            f"lat={self.avg_flit_latency:.1f}cy "
+            f"E/pkt={self.energy_per_packet_nj:.2f}nJ"
+        )

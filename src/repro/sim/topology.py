@@ -1,0 +1,96 @@
+"""2D mesh topology.
+
+A :class:`Mesh` knows the geometry only — node ids, coordinates, which ports
+exist at each node, and who the neighbours are.  Routers and links are built
+on top of it by :mod:`repro.sim.network`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .ports import DELTA, DIRECTIONS, Port
+
+
+class Mesh:
+    """A ``k x k`` 2D mesh.
+
+    Node ids run row-major: ``node = y * k + x`` with ``x`` increasing east
+    and ``y`` increasing north.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 2:
+            raise ValueError(f"mesh radix must be >= 2, got {k}")
+        self.k = k
+        self.num_nodes = k * k
+        # Precompute coordinate and neighbour tables once; the hot loop only
+        # does O(1) lookups into these.
+        self._coords: List[Tuple[int, int]] = [
+            (n % k, n // k) for n in range(self.num_nodes)
+        ]
+        self._neighbors: List[Dict[Port, int]] = []
+        for n in range(self.num_nodes):
+            x, y = self._coords[n]
+            nbrs: Dict[Port, int] = {}
+            for port in DIRECTIONS:
+                dx, dy = DELTA[port]
+                nx, ny = x + dx, y + dy
+                if 0 <= nx < k and 0 <= ny < k:
+                    nbrs[port] = ny * k + nx
+            self._neighbors.append(nbrs)
+
+    # ------------------------------------------------------------------
+    # geometry queries
+    # ------------------------------------------------------------------
+    def coords(self, node: int) -> Tuple[int, int]:
+        """Return ``(x, y)`` of ``node``."""
+        return self._coords[node]
+
+    def node_at(self, x: int, y: int) -> int:
+        """Return the node id at ``(x, y)``."""
+        if not (0 <= x < self.k and 0 <= y < self.k):
+            raise ValueError(f"({x}, {y}) outside {self.k}x{self.k} mesh")
+        return y * self.k + x
+
+    def neighbor(self, node: int, port: Port) -> Optional[int]:
+        """Neighbour of ``node`` through ``port``, or None at a mesh edge."""
+        return self._neighbors[node].get(port)
+
+    def ports_of(self, node: int) -> List[Port]:
+        """The cardinal ports that actually have a link at ``node``."""
+        return list(self._neighbors[node].keys())
+
+    def manhattan(self, a: int, b: int) -> int:
+        """Hop distance between nodes ``a`` and ``b``."""
+        ax, ay = self._coords[a]
+        bx, by = self._coords[b]
+        return abs(ax - bx) + abs(ay - by)
+
+    def delta(self, src: int, dst: int) -> Tuple[int, int]:
+        """Return ``(dx, dy) = coords(dst) - coords(src)``."""
+        sx, sy = self._coords[src]
+        dx, dy = self._coords[dst]
+        return (dx - sx, dy - sy)
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate over all node ids."""
+        return iter(range(self.num_nodes))
+
+    def edges(self) -> Iterator[Tuple[int, Port, int]]:
+        """Iterate over all directed links as ``(src, out_port, dst)``."""
+        for n in range(self.num_nodes):
+            for port, m in self._neighbors[n].items():
+                yield (n, port, m)
+
+    def is_center(self, node: int, ring: int = 2) -> bool:
+        """True when ``node`` lies in the central ``(k - 2*ring)`` square.
+
+        Used by fairness tests: the paper observes that center nodes starve
+        without the fairness counter because edge-injected flits age faster.
+        """
+        x, y = self._coords[node]
+        return ring <= x < self.k - ring and ring <= y < self.k - ring
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Mesh(k={self.k})"

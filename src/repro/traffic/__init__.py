@@ -1,0 +1,35 @@
+"""Traffic: synthetic patterns, Bernoulli injection, traces and the
+SPLASH-2 closed-loop substitute."""
+
+from .generator import BernoulliSynthetic, SingleShot, Workload
+from .patterns import TrafficPattern, make_pattern, pattern_names
+from .splash2 import (
+    SPLASH2_PROFILES,
+    AppProfile,
+    Splash2Workload,
+    generate_app_trace,
+    make_splash2_workload,
+    memory_controller_nodes,
+    splash2_app_names,
+)
+from .trace import TraceEvent, TraceWorkload, read_trace, write_trace
+
+__all__ = [
+    "BernoulliSynthetic",
+    "SingleShot",
+    "Workload",
+    "TrafficPattern",
+    "make_pattern",
+    "pattern_names",
+    "SPLASH2_PROFILES",
+    "AppProfile",
+    "Splash2Workload",
+    "generate_app_trace",
+    "make_splash2_workload",
+    "memory_controller_nodes",
+    "splash2_app_names",
+    "TraceEvent",
+    "TraceWorkload",
+    "read_trace",
+    "write_trace",
+]

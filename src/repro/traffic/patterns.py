@@ -1,0 +1,252 @@
+"""The nine synthetic traffic patterns of Section III.A.
+
+Each pattern answers two questions:
+
+* :meth:`TrafficPattern.sample_dest` — draw a destination for a packet
+  injected at ``src`` (used by the Bernoulli injector);
+* :meth:`TrafficPattern.weights` — the full destination distribution of
+  ``src`` (used by the analytic channel-load / capacity model and by the
+  statistical tests).
+
+Offered load throughout the package is normalised to the injection
+bandwidth: 1.0 == one flit per node per cycle.  The channel-limited
+capacity of a pattern is available from
+:func:`repro.routing.capacity.channel_capacity` for analysis.
+
+Bit-permutation patterns (BR/BF/CP/PS) require the node count to be a power
+of two, which holds for the paper's 8x8 mesh.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..sim.topology import Mesh
+
+
+class TrafficPattern(ABC):
+    """Destination distribution over a mesh."""
+
+    name: str = "base"
+
+    def __init__(self, mesh: Mesh) -> None:
+        self.mesh = mesh
+
+    @abstractmethod
+    def sample_dest(self, src: int, rng: np.random.Generator) -> Optional[int]:
+        """Destination for a packet from ``src``; None if ``src`` does not
+        inject under this pattern (e.g. fixed points of a permutation)."""
+
+    @abstractmethod
+    def weights(self, src: int) -> Dict[int, float]:
+        """Map destination -> probability (sums to <= 1; mass on ``src``
+        itself is dropped, matching nodes that sit out the pattern)."""
+
+
+class PermutationPattern(TrafficPattern):
+    """Base class for deterministic one-destination-per-source patterns."""
+
+    def __init__(self, mesh: Mesh) -> None:
+        super().__init__(mesh)
+        self._dest = [self._permute(s) for s in range(mesh.num_nodes)]
+
+    @abstractmethod
+    def _permute(self, src: int) -> int:
+        """The single destination of ``src`` (may equal ``src``)."""
+
+    def sample_dest(self, src: int, rng: np.random.Generator) -> Optional[int]:
+        d = self._dest[src]
+        return None if d == src else d
+
+    def weights(self, src: int) -> Dict[int, float]:
+        d = self._dest[src]
+        return {} if d == src else {d: 1.0}
+
+
+def _require_pow2(mesh: Mesh, name: str) -> int:
+    n = mesh.num_nodes
+    b = n.bit_length() - 1
+    if 1 << b != n:
+        raise ValueError(f"pattern {name} needs a power-of-two node count, got {n}")
+    return b
+
+
+class UniformRandom(TrafficPattern):
+    """UR: every other node equally likely."""
+
+    name = "UR"
+
+    def __init__(self, mesh: Mesh) -> None:
+        super().__init__(mesh)
+        self._n = mesh.num_nodes
+
+    def sample_dest(self, src: int, rng: np.random.Generator) -> Optional[int]:
+        d = int(rng.integers(self._n - 1))
+        return d + 1 if d >= src else d
+
+    def weights(self, src: int) -> Dict[int, float]:
+        p = 1.0 / (self._n - 1)
+        return {d: p for d in range(self._n) if d != src}
+
+
+class NonUniformRandom(TrafficPattern):
+    """NUR: uniform random plus 25% additional traffic aimed at a hot-spot
+    group (paper: "injecting 25% additional traffic to a select group of
+    nodes").  The hot spots are the four central nodes of the mesh."""
+
+    name = "NUR"
+    HOTSPOT_FRACTION = 0.25
+
+    def __init__(self, mesh: Mesh) -> None:
+        super().__init__(mesh)
+        self._n = mesh.num_nodes
+        h = mesh.k // 2
+        self.hotspots = tuple(
+            mesh.node_at(x, y) for x in (h - 1, h) for y in (h - 1, h)
+        )
+
+    def sample_dest(self, src: int, rng: np.random.Generator) -> Optional[int]:
+        if rng.random() < self.HOTSPOT_FRACTION:
+            choices = [n for n in self.hotspots if n != src]
+            return choices[int(rng.integers(len(choices)))]
+        d = int(rng.integers(self._n - 1))
+        return d + 1 if d >= src else d
+
+    def weights(self, src: int) -> Dict[int, float]:
+        w: Dict[int, float] = {}
+        base = (1.0 - self.HOTSPOT_FRACTION) / (self._n - 1)
+        for d in range(self._n):
+            if d != src:
+                w[d] = base
+        hs = [n for n in self.hotspots if n != src]
+        for d in hs:
+            w[d] += self.HOTSPOT_FRACTION / len(hs)
+        return w
+
+
+class BitReversal(PermutationPattern):
+    """BR: destination index is the bit-reversed source index."""
+
+    name = "BR"
+
+    def __init__(self, mesh: Mesh) -> None:
+        self._bits = _require_pow2(mesh, self.name)
+        super().__init__(mesh)
+
+    def _permute(self, src: int) -> int:
+        out = 0
+        for i in range(self._bits):
+            if src & (1 << i):
+                out |= 1 << (self._bits - 1 - i)
+        return out
+
+
+class Butterfly(PermutationPattern):
+    """BF: swap the most- and least-significant index bits."""
+
+    name = "BF"
+
+    def __init__(self, mesh: Mesh) -> None:
+        self._bits = _require_pow2(mesh, self.name)
+        super().__init__(mesh)
+
+    def _permute(self, src: int) -> int:
+        b = self._bits
+        lo = src & 1
+        hi = (src >> (b - 1)) & 1
+        out = src & ~(1 | (1 << (b - 1)))
+        out |= hi | (lo << (b - 1))
+        return out
+
+
+class Complement(PermutationPattern):
+    """CP: destination is the bitwise complement of the source index."""
+
+    name = "CP"
+
+    def __init__(self, mesh: Mesh) -> None:
+        self._bits = _require_pow2(mesh, self.name)
+        super().__init__(mesh)
+
+    def _permute(self, src: int) -> int:
+        return ~src & ((1 << self._bits) - 1)
+
+
+class MatrixTranspose(PermutationPattern):
+    """MT: (x, y) -> (y, x)."""
+
+    name = "MT"
+
+    def _permute(self, src: int) -> int:
+        x, y = self.mesh.coords(src)
+        return self.mesh.node_at(y, x)
+
+
+class PerfectShuffle(PermutationPattern):
+    """PS: rotate the index bits left by one."""
+
+    name = "PS"
+
+    def __init__(self, mesh: Mesh) -> None:
+        self._bits = _require_pow2(mesh, self.name)
+        super().__init__(mesh)
+
+    def _permute(self, src: int) -> int:
+        b = self._bits
+        mask = (1 << b) - 1
+        return ((src << 1) | (src >> (b - 1))) & mask
+
+
+class Neighbor(PermutationPattern):
+    """NB: (x, y) -> ((x+1) mod k, y) — nearest-neighbour, minimal load."""
+
+    name = "NB"
+
+    def _permute(self, src: int) -> int:
+        x, y = self.mesh.coords(src)
+        return self.mesh.node_at((x + 1) % self.mesh.k, y)
+
+
+class Tornado(PermutationPattern):
+    """TOR: (x, y) -> ((x + ceil(k/2) - 1) mod k, y) — adversarial for
+    rings/meshes, concentrating load on long row paths."""
+
+    name = "TOR"
+
+    def _permute(self, src: int) -> int:
+        k = self.mesh.k
+        x, y = self.mesh.coords(src)
+        return self.mesh.node_at((x + (k + 1) // 2 - 1) % k, y)
+
+
+_PATTERNS = {
+    cls.name: cls
+    for cls in (
+        UniformRandom,
+        NonUniformRandom,
+        BitReversal,
+        Butterfly,
+        Complement,
+        MatrixTranspose,
+        PerfectShuffle,
+        Neighbor,
+        Tornado,
+    )
+}
+
+
+def make_pattern(name: str, mesh: Mesh) -> TrafficPattern:
+    """Instantiate a pattern by its Section III.A abbreviation."""
+    try:
+        cls = _PATTERNS[name]
+    except KeyError:
+        raise ValueError(f"unknown pattern {name!r}; known: {sorted(_PATTERNS)}")
+    return cls(mesh)
+
+
+def pattern_names() -> tuple:
+    """All nine pattern abbreviations in the paper's plotting order."""
+    return ("UR", "NUR", "BR", "BF", "CP", "MT", "PS", "NB", "TOR")

@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.design == "dxbar_dor"
+        assert args.pattern == "UR"
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--design", "warp"])
+
+    def test_figure_names_constrained(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestCommands:
+    def test_designs_lists_everything(self, capsys):
+        assert main(["designs"]) == 0
+        out = capsys.readouterr().out
+        assert "dxbar_dor" in out and "afc" in out
+
+    def test_patterns(self, capsys):
+        assert main(["patterns"]) == 0
+        assert "TOR" in capsys.readouterr().out
+
+    def test_run_prints_metrics(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--design", "dxbar_dor",
+                "--load", "0.1",
+                "--k", "4",
+                "--warmup", "50",
+                "--measure", "200",
+                "--drain", "400",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "accepted load" in out
+        assert "energy (nJ/packet)" in out
+
+    def test_sweep_prints_tables(self, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--designs", "dxbar_dor", "flit_bless",
+                "--loads", "0.05", "0.1",
+                "--k", "4",
+                "--warmup", "50",
+                "--measure", "150",
+                "--drain", "300",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "accepted load" in out
+        assert "Flit-Bless" in out
+
+    def test_figure_table3(self, capsys):
+        assert main(["figure", "table3"]) == 0
+        assert "Area and energy" in capsys.readouterr().out
+
+    def test_splash_single_app(self, capsys):
+        rc = main(["splash", "--app", "Water", "--txns", "2",
+                   "--designs", "dxbar_dor", "flit_bless"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Water" in out and "exec cycles" in out

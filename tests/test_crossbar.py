@@ -1,0 +1,118 @@
+"""Unit and property tests for the crossbar structural models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.crossbar import (
+    BUFFERED,
+    BUFFERLESS,
+    MatrixCrossbar,
+    SegmentedCrossbar,
+    requires_swap,
+)
+
+
+class TestMatrixCrossbar:
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            MatrixCrossbar(0, 5)
+
+    def test_valid_configuration(self):
+        xbar = MatrixCrossbar(5, 5)
+        xbar.configure([(0, 2), (1, 0), (4, 4)])
+        assert xbar.output_of(0) == 2
+        assert xbar.output_of(2) is None
+
+    def test_input_conflict_rejected(self):
+        xbar = MatrixCrossbar(5, 5)
+        with pytest.raises(ValueError, match="input 0"):
+            xbar.configure([(0, 1), (0, 2)])
+
+    def test_output_conflict_rejected(self):
+        xbar = MatrixCrossbar(5, 5)
+        with pytest.raises(ValueError, match="output 3"):
+            xbar.configure([(0, 3), (1, 3)])
+
+    def test_out_of_range_rejected(self):
+        xbar = MatrixCrossbar(2, 2)
+        with pytest.raises(ValueError):
+            xbar.configure([(0, 5)])
+
+    def test_reconfigure_clears_old_state(self):
+        xbar = MatrixCrossbar(3, 3)
+        xbar.configure([(0, 1)])
+        xbar.configure([(2, 2)])
+        assert xbar.output_of(0) is None
+        assert xbar.connections() == [(2, 2)]
+
+
+class TestRequiresSwap:
+    def test_fig4c_example(self):
+        """I0 -> O4 with I0' -> O2 is the paper's conflict example."""
+        assert requires_swap(4, 2)
+
+    def test_ordered_pair_needs_no_swap(self):
+        assert not requires_swap(2, 3)
+
+    @given(st.integers(0, 4), st.integers(0, 4))
+    def test_antisymmetric(self, a, b):
+        if a != b:
+            assert requires_swap(a, b) != requires_swap(b, a)
+
+
+class TestSegmentedCrossbar:
+    def test_dual_connection_same_input(self):
+        """The defining feature: two flits from input 0 to two outputs."""
+        xbar = SegmentedCrossbar(5)
+        swaps = xbar.configure({0: {BUFFERLESS: 2, BUFFERED: 3}})
+        assert swaps == 0
+        assert xbar.output_of(0, BUFFERLESS) == 2
+        assert xbar.output_of(0, BUFFERED) == 3
+
+    def test_swap_detected(self):
+        xbar = SegmentedCrossbar(5)
+        swaps = xbar.configure({1: {BUFFERLESS: 4, BUFFERED: 2}})
+        assert swaps == 1
+
+    def test_segmentation_gate_position(self):
+        xbar = SegmentedCrossbar(5)
+        xbar.configure({0: {BUFFERLESS: 1, BUFFERED: 3}})
+        segs = xbar.row_segments(0)
+        assert len(segs) == 2
+        assert 1 in segs[0]
+        assert 3 in segs[1]
+
+    def test_single_connection_keeps_row_whole(self):
+        xbar = SegmentedCrossbar(5)
+        xbar.configure({2: {BUFFERLESS: 0}})
+        assert xbar.row_segments(2) == [range(0, 5)]
+
+    def test_output_conflict_across_rows_rejected(self):
+        xbar = SegmentedCrossbar(5)
+        with pytest.raises(ValueError, match="output 2"):
+            xbar.configure({0: {BUFFERLESS: 2}, 1: {BUFFERED: 2}})
+
+    def test_same_output_twice_in_row_rejected(self):
+        xbar = SegmentedCrossbar(5)
+        with pytest.raises(ValueError):
+            xbar.configure({0: {BUFFERLESS: 2, BUFFERED: 2}})
+
+    @given(st.data())
+    def test_random_valid_configs_always_separate(self, data):
+        """Any conflict-free dual assignment is realizable: the two lanes
+        of a row always land in different segments."""
+        xbar = SegmentedCrossbar(5)
+        n_rows = data.draw(st.integers(1, 2))
+        outputs = data.draw(
+            st.lists(st.integers(0, 4), min_size=2 * n_rows, max_size=2 * n_rows, unique=True)
+        )
+        conf = {}
+        for i in range(n_rows):
+            conf[i] = {BUFFERLESS: outputs[2 * i], BUFFERED: outputs[2 * i + 1]}
+        xbar.configure(conf)
+        for i in range(n_rows):
+            segs = xbar.row_segments(i)
+            a, b = conf[i][BUFFERLESS], conf[i][BUFFERED]
+            seg_of_a = next(j for j, s in enumerate(segs) if a in s)
+            seg_of_b = next(j for j, s in enumerate(segs) if b in s)
+            assert seg_of_a != seg_of_b

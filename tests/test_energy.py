@@ -1,0 +1,140 @@
+"""Tests for the energy/area models (Table III)."""
+
+import pytest
+
+from repro.energy.area import (
+    BUFFERS4_AREA_MM2,
+    UNIFIED_XBAR_AREA_MM2,
+    XBAR_AREA_MM2,
+    area_table,
+    design_area,
+)
+from repro.energy.constants import (
+    DESIGN_ENERGY,
+    LINK_ENERGY_PJ,
+    UNIFIED_XBAR_ENERGY_PJ,
+    XBAR_ENERGY_PJ,
+    EnergyConstants,
+    LT_CRITICAL_PATH_NS,
+    UNIFIED_ST_CRITICAL_PATH_NS,
+    CLOCK_PERIOD_NS,
+)
+from repro.energy.model import EnergyModel
+from repro.sim.flit import Flit
+from repro.sim.stats import StatsCollector
+
+
+class TestAreaModel:
+    """Every ordering relation the paper states must hold."""
+
+    def test_bufferless_designs_smallest(self):
+        t = area_table()
+        assert t["flit_bless"] == t["scarab"]
+        assert t["flit_bless"] < min(
+            t["buffered4"], t["buffered8"], t["dxbar"], t["unified"]
+        )
+
+    def test_dxbar_is_33_percent_over_bless(self):
+        t = area_table()
+        assert t["dxbar"] / t["flit_bless"] == pytest.approx(1.33, abs=0.01)
+
+    def test_unified_is_25_percent_over_bless(self):
+        t = area_table()
+        assert t["unified"] / t["flit_bless"] == pytest.approx(1.25, abs=0.01)
+
+    def test_dxbar_larger_than_buffered4(self):
+        t = area_table()
+        assert t["dxbar"] > t["buffered4"]
+
+    def test_dxbar_smaller_than_buffered8(self):
+        """'the buffers have a larger area than the crossbar'."""
+        t = area_table()
+        assert t["dxbar"] < t["buffered8"]
+        assert BUFFERS4_AREA_MM2 > XBAR_AREA_MM2
+
+    def test_unified_smaller_than_dxbar(self):
+        t = area_table()
+        assert t["unified"] < t["dxbar"]
+
+    def test_unified_xbar_between_one_and_two_matrix_xbars(self):
+        assert XBAR_AREA_MM2 < UNIFIED_XBAR_AREA_MM2 < 2 * XBAR_AREA_MM2
+
+    def test_breakdown_total(self):
+        bd = design_area("dxbar")
+        assert bd.total == pytest.approx(bd.crossbars + bd.buffers + bd.links)
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(ValueError):
+            design_area("nope")
+
+
+class TestEnergyConstants:
+    def test_paper_values(self):
+        assert XBAR_ENERGY_PJ == 13.0
+        assert UNIFIED_XBAR_ENERGY_PJ == 15.0
+        assert LINK_ENERGY_PJ == 36.0
+
+    def test_bufferless_designs_have_zero_buffer_energy(self):
+        assert DESIGN_ENERGY["flit_bless"].buffer_pj == 0.0
+        assert DESIGN_ENERGY["scarab"].buffer_pj == 0.0
+
+    def test_buffered8_costlier_than_buffered4(self):
+        assert DESIGN_ENERGY["buffered8"].buffer_pj > DESIGN_ENERGY["buffered4"].buffer_pj
+
+    def test_unified_marginally_more_than_dxbar(self):
+        assert DESIGN_ENERGY["unified"].buffer_pj > DESIGN_ENERGY["dxbar"].buffer_pj
+        assert DESIGN_ENERGY["unified"].xbar_pj > DESIGN_ENERGY["dxbar"].xbar_pj
+
+    def test_negative_constants_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyConstants(xbar_pj=-1)
+
+    def test_timing_under_clock(self):
+        assert LT_CRITICAL_PATH_NS < CLOCK_PERIOD_NS
+        assert UNIFIED_ST_CRITICAL_PATH_NS < CLOCK_PERIOD_NS
+
+
+class TestEnergyModel:
+    def _model(self, design="dxbar"):
+        stats = StatsCollector(4)
+        stats.set_window(0, 100)
+        return EnergyModel.for_design(design, stats), stats
+
+    def _flit(self, measured=True):
+        return Flit(0, 0, src=0, dst=1, injected_cycle=0, measured=measured)
+
+    def test_for_design_strips_routing_suffix(self):
+        model, _ = self._model("dxbar_wf")
+        assert model.constants is DESIGN_ENERGY["dxbar"]
+
+    def test_unknown_design(self):
+        with pytest.raises(ValueError):
+            EnergyModel.for_design("bogus", StatsCollector(1))
+
+    def test_charges_accumulate(self):
+        model, stats = self._model()
+        f = self._flit()
+        model.charge_xbar(f)
+        model.charge_link(f)
+        model.charge_buffer(f)
+        model.charge_nack(f, 3)
+        assert stats.energy_xbar_pj == 13.0
+        assert stats.energy_link_pj == 36.0
+        assert stats.energy_buffer_pj == pytest.approx(9.2)
+        assert stats.energy_nack_pj == pytest.approx(6.0)
+
+    def test_unmeasured_flits_free(self):
+        model, stats = self._model()
+        f = self._flit(measured=False)
+        model.charge_xbar(f)
+        model.charge_link(f)
+        assert stats.energy_xbar_pj == 0.0
+        assert stats.energy_link_pj == 0.0
+        # but event counters still tick (they feed utilisation stats)
+        assert stats.xbar_traversals == 1
+        assert stats.link_traversals == 1
+
+    def test_unified_rate(self):
+        model, stats = self._model("unified_dor")
+        model.charge_xbar(self._flit())
+        assert stats.energy_xbar_pj == 15.0

@@ -1,0 +1,102 @@
+"""Exact end-to-end energy accounting checks.
+
+These pin the per-event model to hand-computed totals on deterministic
+paths, so an accounting regression (double-charge, missed charge) cannot
+hide inside averaged metrics.
+"""
+
+import pytest
+
+from tests.conftest import make_bench
+
+from repro.energy.constants import (
+    BUFFER4_ENERGY_PJ,
+    LINK_ENERGY_PJ,
+    UNIFIED_XBAR_ENERGY_PJ,
+    XBAR_ENERGY_PJ,
+)
+
+
+class TestDXbarPathEnergy:
+    def test_unobstructed_three_hop_flit(self):
+        """3 hops: 4 crossbar traversals (source, 2 transit, ejection) and
+        3 link traversals; no buffering."""
+        b = make_bench("dxbar_dor")
+        b.inject(0, 3)
+        b.run_until_quiescent()
+        expected = 4 * XBAR_ENERGY_PJ + 3 * LINK_ENERGY_PJ
+        assert b.stats.energy_xbar_pj + b.stats.energy_link_pj == pytest.approx(expected)
+        assert b.stats.energy_buffer_pj == 0.0
+        flit, _ = b.delivered[0]
+        assert flit.energy_pj == pytest.approx(expected)
+
+    def test_buffered_conflict_adds_one_buffer_event(self):
+        b = make_bench("dxbar_dor")
+        b.inject(1, 13)   # wins at node 5
+        b.inject(4, 13)   # buffered once at node 5
+        b.run_until_quiescent(max_cycles=300)
+        # 2 flits x 3 hops: 8 xbar, 6 link, exactly one buffer write.
+        assert b.stats.energy_buffer_pj == pytest.approx(BUFFER4_ENERGY_PJ)
+        assert b.stats.energy_xbar_pj == pytest.approx(8 * XBAR_ENERGY_PJ)
+        assert b.stats.energy_link_pj == pytest.approx(6 * LINK_ENERGY_PJ)
+
+
+class TestUnifiedPathEnergy:
+    def test_higher_crossbar_rate(self):
+        b = make_bench("unified_dor")
+        b.inject(0, 3)
+        b.run_until_quiescent()
+        assert b.stats.energy_xbar_pj == pytest.approx(4 * UNIFIED_XBAR_ENERGY_PJ)
+
+
+class TestBufferedPathEnergy:
+    def test_every_hop_buffers_once(self):
+        """Buffered-4 writes the flit into a FIFO at injection and at each
+        of the 3 routers it transits (including the ejection router)."""
+        b = make_bench("buffered4")
+        b.inject(0, 3)
+        b.run_until_quiescent()
+        assert b.stats.energy_buffer_pj == pytest.approx(4 * BUFFER4_ENERGY_PJ)
+        assert b.stats.energy_xbar_pj == pytest.approx(4 * XBAR_ENERGY_PJ)
+        assert b.stats.energy_link_pj == pytest.approx(3 * LINK_ENERGY_PJ)
+
+
+class TestBlessPathEnergy:
+    def test_deflection_charges_extra_hops(self):
+        """Each deflection adds crossbar + link traversals that the energy
+        model must capture — the core of the paper's Fig 6 argument."""
+        b = make_bench("flit_bless")
+        b.inject(1, 13)
+        b.inject(4, 13)  # deflected at least once
+        b.run_until_quiescent(max_cycles=300)
+        total_hops = sum(f.hops for f, _ in b.delivered)
+        # Links: one charge per hop; crossbars: one per hop plus one
+        # ejection traversal per flit.
+        assert b.stats.energy_link_pj == pytest.approx(total_hops * LINK_ENERGY_PJ)
+        assert b.stats.energy_xbar_pj == pytest.approx(
+            (total_hops + 2) * XBAR_ENERGY_PJ
+        )
+        assert b.stats.energy_buffer_pj == 0.0
+
+
+class TestPerPacketAccounting:
+    def test_packet_energy_is_sum_of_flit_energies(self):
+        b = make_bench("dxbar_dor")
+        b.inject(0, 3, num_flits=4)
+        b.run_until_quiescent(max_cycles=300)
+        assert len(b.stats.packet_energies_pj) == 1
+        total = sum(f.energy_pj for f, _ in b.delivered)
+        assert b.stats.packet_energies_pj[0] == pytest.approx(total)
+
+    def test_aggregate_equals_per_packet_sum_when_drained(self):
+        b = make_bench("dxbar_dor")
+        for i in range(6):
+            b.inject(i, 15 - i if 15 - i != i else 14, num_flits=2)
+        b.run_until_quiescent(max_cycles=500)
+        agg = (
+            b.stats.energy_buffer_pj
+            + b.stats.energy_xbar_pj
+            + b.stats.energy_link_pj
+            + b.stats.energy_nack_pj
+        )
+        assert sum(b.stats.packet_energies_pj) == pytest.approx(agg)

@@ -1,0 +1,57 @@
+"""Unit tests for the fairness counter (Section II.A.2)."""
+
+import pytest
+
+from repro.core.fairness import FairnessCounter
+
+
+class TestFairnessCounter:
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            FairnessCounter(0)
+
+    def test_paper_threshold_is_four(self):
+        fc = FairnessCounter(4)
+        for _ in range(3):
+            fc.update(waiters_present=True, waiter_won=False, incoming_won=True)
+            assert not fc.should_flip()
+        fc.update(waiters_present=True, waiter_won=False, incoming_won=True)
+        assert fc.should_flip()
+
+    def test_waiter_win_resets(self):
+        fc = FairnessCounter(4)
+        for _ in range(3):
+            fc.update(True, False, True)
+        fc.update(True, True, True)
+        assert fc.count == 0
+        assert not fc.should_flip()
+
+    def test_counter_rests_without_waiters(self):
+        """The counter 'works only when there are flits waiting'."""
+        fc = FairnessCounter(4)
+        for _ in range(3):
+            fc.update(True, False, True)
+        fc.update(False, False, True)
+        assert fc.count == 0
+
+    def test_idle_cycles_do_not_count(self):
+        fc = FairnessCounter(4)
+        fc.update(True, False, False)  # nobody won at all
+        assert fc.count == 0
+
+    def test_note_flip_rearms(self):
+        fc = FairnessCounter(2)
+        fc.update(True, False, True)
+        fc.update(True, False, True)
+        assert fc.should_flip()
+        fc.note_flip()
+        assert not fc.should_flip()
+        assert fc.flips == 1
+
+    def test_flip_count_accumulates(self):
+        fc = FairnessCounter(1)
+        for _ in range(5):
+            fc.update(True, False, True)
+            if fc.should_flip():
+                fc.note_flip()
+        assert fc.flips > 1

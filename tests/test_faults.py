@@ -1,0 +1,79 @@
+"""Unit tests for the fault plan and RouterFault semantics."""
+
+import pytest
+
+from repro.core.faults import PRIMARY, SECONDARY, FaultPlan, RouterFault
+from repro.sim.config import FaultConfig
+
+
+class TestRouterFault:
+    def test_healthy_before_manifest(self):
+        f = RouterFault(PRIMARY, manifest_cycle=100, detected_cycle=105)
+        assert f.primary_ok(99)
+        assert not f.primary_ok(100)
+        assert f.secondary_ok(100)
+
+    def test_secondary_fault(self):
+        f = RouterFault(SECONDARY, manifest_cycle=10, detected_cycle=15)
+        assert f.primary_ok(50)
+        assert not f.secondary_ok(10)
+
+    def test_detection_window(self):
+        f = RouterFault(PRIMARY, manifest_cycle=10, detected_cycle=15)
+        assert not f.detected(14)
+        assert f.detected(15)
+
+
+class TestFaultPlan:
+    def test_zero_percent_is_empty(self):
+        plan = FaultPlan(FaultConfig(percent=0), 64)
+        assert len(plan) == 0
+        assert plan.fault_for(0) is None
+
+    def test_hundred_percent_covers_all(self):
+        plan = FaultPlan(FaultConfig(percent=100), 64)
+        assert len(plan) == 64
+        assert all(plan.fault_for(n) is not None for n in range(64))
+
+    @pytest.mark.parametrize("pct,expected", [(25, 16), (50, 32), (75, 48)])
+    def test_percent_to_count(self, pct, expected):
+        plan = FaultPlan(FaultConfig(percent=pct), 64)
+        assert len(plan) == expected
+
+    def test_nested_subsets_across_percentages(self):
+        """The paper injects faults 'with the same random seed but varying
+        percentages': the faulty sets must be nested."""
+        cfg25 = FaultConfig(percent=25, seed=99)
+        cfg75 = FaultConfig(percent=75, seed=99)
+        small = set(FaultPlan(cfg25, 64).faulty_nodes)
+        large = set(FaultPlan(cfg75, 64).faulty_nodes)
+        assert small < large
+
+    def test_same_router_same_fault_across_percentages(self):
+        cfg25 = FaultConfig(percent=25, seed=99)
+        cfg100 = FaultConfig(percent=100, seed=99)
+        p25 = FaultPlan(cfg25, 64)
+        p100 = FaultPlan(cfg100, 64)
+        for node in p25.faulty_nodes:
+            assert p25.fault_for(node) == p100.fault_for(node)
+
+    def test_detection_delay_applied(self):
+        plan = FaultPlan(FaultConfig(percent=100, detection_cycles=5), 16)
+        for node in plan.faulty_nodes:
+            f = plan.fault_for(node)
+            assert f.detected_cycle == f.manifest_cycle + 5
+
+    def test_manifest_within_window(self):
+        plan = FaultPlan(FaultConfig(percent=100, manifest_window=50), 64)
+        for node in plan.faulty_nodes:
+            assert 1 <= plan.fault_for(node).manifest_cycle <= 50
+
+    def test_both_crossbars_appear(self):
+        plan = FaultPlan(FaultConfig(percent=100, seed=5), 64)
+        kinds = {plan.fault_for(n).crossbar for n in plan.faulty_nodes}
+        assert kinds == {PRIMARY, SECONDARY}
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(FaultConfig(percent=50, seed=1), 64).faulty_nodes
+        b = FaultPlan(FaultConfig(percent=50, seed=2), 64).faulty_nodes
+        assert a != b

@@ -1,0 +1,54 @@
+"""Unit tests for the flit/packet model."""
+
+from repro.sim.flit import Flit, make_packet
+
+
+class TestFlit:
+    def test_age_key_orders_older_first(self):
+        old = Flit(0, 0, src=0, dst=1, injected_cycle=5)
+        young = Flit(1, 1, src=0, dst=1, injected_cycle=9)
+        assert old.age_key < young.age_key
+
+    def test_age_tiebreak_by_packet_id(self):
+        a = Flit(0, 3, src=0, dst=1, injected_cycle=5)
+        b = Flit(1, 7, src=0, dst=1, injected_cycle=5)
+        assert a.age_key < b.age_key
+
+    def test_counters_start_zero(self):
+        f = Flit(0, 0, src=0, dst=1, injected_cycle=0)
+        assert f.hops == 0
+        assert f.deflections == 0
+        assert f.buffered_events == 0
+        assert f.retransmits == 0
+
+    def test_network_entry_unset(self):
+        f = Flit(0, 0, src=0, dst=1, injected_cycle=0)
+        assert f.network_entry_cycle == -1
+
+    def test_reply_tag_threading(self):
+        f = Flit(0, 0, src=0, dst=1, injected_cycle=0, reply_tag=("req", 3, True))
+        assert f.reply_tag == ("req", 3, True)
+
+
+class TestMakePacket:
+    def test_packet_flit_count(self):
+        flits = make_packet(10, 2, src=0, dst=5, cycle=7, num_flits=4, measured=True)
+        assert len(flits) == 4
+
+    def test_flit_ids_consecutive(self):
+        flits = make_packet(10, 2, src=0, dst=5, cycle=7, num_flits=4, measured=True)
+        assert [f.fid for f in flits] == [10, 11, 12, 13]
+
+    def test_every_flit_is_head(self):
+        """DXbar requires every flit to carry full routing state."""
+        flits = make_packet(0, 0, src=3, dst=9, cycle=2, num_flits=3, measured=False)
+        for i, f in enumerate(flits):
+            assert (f.src, f.dst) == (3, 9)
+            assert f.injected_cycle == 2
+            assert f.flit_index == i
+            assert f.num_flits == 3
+            assert not f.measured
+
+    def test_shared_packet_id(self):
+        flits = make_packet(0, 42, src=0, dst=1, cycle=0, num_flits=2, measured=True)
+        assert {f.packet_id for f in flits} == {42}

@@ -1,0 +1,136 @@
+"""Cross-design integration tests: end-to-end delivery guarantees and the
+paper's qualitative claims at small scale."""
+
+import pytest
+
+from tests.conftest import ALL_DESIGNS, make_bench
+
+from repro.sim.config import FaultConfig, SimConfig
+from repro.sim.engine import run_simulation
+
+
+class TestDeliveryGuarantees:
+    def test_every_design_delivers_all_flits(self, any_design):
+        """All-to-one-ish random burst: nothing lost, nothing duplicated."""
+        b = make_bench(any_design)
+        expected = 0
+        for i in range(16):
+            dst = (i * 5 + 1) % 16
+            if dst == i:
+                dst = (dst + 1) % 16
+            b.inject(i, dst, num_flits=2)
+            expected += 2
+        b.run_until_quiescent(max_cycles=3000)
+        assert len(b.delivered) == expected
+        fids = b.delivered_fids()
+        assert len(set(fids)) == expected
+
+    def test_flits_arrive_at_their_destination(self, any_design):
+        b = make_bench(any_design)
+        b.inject(0, 15, num_flits=3)
+        b.run_until_quiescent(max_cycles=500)
+        assert all(f.dst == 15 for f, _ in b.delivered)
+
+    def test_hotspot_storm_drains(self, any_design):
+        """Everyone targets one node; ejection is the bottleneck but every
+        flit must still arrive."""
+        b = make_bench(any_design)
+        for i in range(16):
+            if i != 5:
+                b.inject(i, 5)
+        b.run_until_quiescent(max_cycles=5000)
+        assert len(b.delivered) == 15
+
+
+class TestPacketReassembly:
+    def test_packet_latency_recorded_on_last_flit(self, any_design):
+        b = make_bench(any_design)
+        b.inject(0, 15, num_flits=4)
+        b.run_until_quiescent(max_cycles=1000)
+        assert b.stats.packets_completed == 1
+        assert len(b.stats.packet_latencies) == 1
+        last = max(c for _, c in b.delivered)
+        assert b.stats.packet_latencies[0] == last
+
+
+class TestPaperClaimsSmallScale:
+    """Quick sanity versions of the headline comparisons (full versions
+    live in benchmarks/)."""
+
+    def _run(self, design, load, **kw):
+        cfg = SimConfig(
+            design=design,
+            k=8,
+            pattern="UR",
+            offered_load=load,
+            warmup_cycles=300,
+            measure_cycles=800,
+            drain_cycles=0,
+            seed=11,
+            **kw,
+        )
+        return run_simulation(cfg)
+
+    def test_dxbar_latency_beats_baseline_at_low_load(self):
+        dx = self._run("dxbar_dor", 0.15)
+        b4 = self._run("buffered4", 0.15)
+        assert dx.avg_flit_latency < b4.avg_flit_latency
+
+    def test_dxbar_energy_beats_baseline(self):
+        dx = self._run("dxbar_dor", 0.3)
+        b4 = self._run("buffered4", 0.3)
+        b8 = self._run("buffered8", 0.3)
+        assert dx.energy_per_packet_nj < b4.energy_per_packet_nj
+        assert dx.energy_per_packet_nj < b8.energy_per_packet_nj
+
+    def test_dxbar_throughput_beats_buffered8_at_saturation(self):
+        dx = self._run("dxbar_dor", 0.7)
+        b8 = self._run("buffered8", 0.7)
+        assert dx.accepted_load > b8.accepted_load
+
+    def test_bufferless_designs_saturate_earliest(self):
+        bless = self._run("flit_bless", 0.7)
+        scarab = self._run("scarab", 0.7)
+        dx = self._run("dxbar_dor", 0.7)
+        assert bless.accepted_load < dx.accepted_load
+        assert scarab.accepted_load < dx.accepted_load
+
+    def test_bless_energy_explodes_at_high_load(self):
+        """Deflections make BLESS the most expensive design near
+        saturation (Fig 6)."""
+        bless = self._run("flit_bless", 0.7)
+        dx = self._run("dxbar_dor", 0.7)
+        assert bless.energy_per_packet_nj > 1.3 * dx.energy_per_packet_nj
+
+    def test_dxbar_buffers_only_a_fraction_of_hops(self):
+        """Paper: 'the chance for the packets to be buffered while
+        traversing through a router is only 1/6 after saturation'."""
+        dx = self._run("dxbar_dor", 0.7)
+        assert 0.03 < dx.buffered_fraction < 0.25
+
+    def test_faults_cost_throughput_and_energy(self):
+        clean = self._run("dxbar_dor", 0.5)
+        faulty = self._run(
+            "dxbar_dor", 0.5, faults=FaultConfig(percent=100, manifest_window=200)
+        )
+        assert faulty.accepted_load <= clean.accepted_load + 0.01
+        assert faulty.energy_per_packet_nj > clean.energy_per_packet_nj
+
+    def test_dor_beats_wf_under_full_faults(self):
+        """Paper conclusion: DOR outperforms WF at high load with faults."""
+        dor = self._run(
+            "dxbar_dor", 0.6, faults=FaultConfig(percent=100, manifest_window=200)
+        )
+        wf = self._run(
+            "dxbar_wf", 0.6, faults=FaultConfig(percent=100, manifest_window=200)
+        )
+        assert dor.accepted_load > wf.accepted_load
+
+
+class TestMeshSizes:
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    def test_non_default_mesh_sizes_work(self, k):
+        b = make_bench("dxbar_dor", k=k)
+        b.inject(0, k * k - 1)
+        b.run_until_quiescent(max_cycles=500)
+        assert len(b.delivered) == 1

@@ -1,0 +1,137 @@
+"""Focused tests for smaller behaviours not covered elsewhere."""
+
+import pytest
+
+from tests.conftest import make_bench
+
+from repro.analysis.report import FigureResult, render_figure
+from repro.routing.adaptive import MinimalAdaptiveRouting
+from repro.sim.config import SimConfig
+from repro.sim.network import Network
+from repro.sim.ports import Port
+from repro.sim.stats import StatsCollector
+
+
+class TestNetworkAdaptiveFallback:
+    def test_lazy_shared_table(self):
+        cfg = SimConfig(design="dxbar_dor", k=4)
+        net = Network(cfg, StatsCollector(16))
+        table = net.adaptive_routing
+        assert isinstance(table, MinimalAdaptiveRouting)
+        assert net.adaptive_routing is table  # built once
+
+    def test_candidates_are_minimal(self):
+        cfg = SimConfig(design="dxbar_dor", k=4)
+        net = Network(cfg, StatsCollector(16))
+        cands = net.adaptive_routing.candidates(0, 15)
+        assert set(cands) == {Port.EAST, Port.NORTH}
+
+
+class TestBuffered8BankSteering:
+    def test_arrivals_balance_across_banks(self):
+        """Incoming flits go to the emptier bank, so with a blocked output
+        both banks fill evenly rather than one overflowing."""
+        b = make_bench("buffered8")
+        # Saturate NORTH out of node 5 from one input.
+        for i in range(8):
+            b.inject(1, 13)
+        b.step(14)
+        banks = b.router(5).fifos[Port.SOUTH]
+        assert abs(len(banks[0]) - len(banks[1])) <= 1
+        b.run_until_quiescent(max_cycles=1000)
+
+    def test_total_occupancy_respects_credit_budget(self):
+        b = make_bench("buffered8")
+        for i in range(20):
+            b.inject(1, 13)
+            b.inject(4, 13)
+        for _ in range(60):
+            b.step()
+            for r in b.network.routers:
+                for banks in r.fifos.values():
+                    assert sum(len(bank) for bank in banks) <= 8
+
+
+class TestRenderEdgeCases:
+    def test_category_axis(self):
+        fig = FigureResult(
+            "x", "categories", "pattern", ["UR", "TOR"], {"a": [1.0, 2.0]}
+        )
+        out = render_figure(fig)
+        assert "UR" in out and "TOR" in out
+
+    def test_mixed_int_float_cells(self):
+        fig = FigureResult("x", "t", "k", [4, 8], {"n": [1.5, 2.25]})
+        out = render_figure(fig, floatfmt=".2f")
+        assert "1.50" in out and "2.25" in out
+
+
+class TestSourceQueueSemantics:
+    @pytest.mark.parametrize("design", ["dxbar_dor", "buffered4", "flit_bless"])
+    def test_injection_order_preserved(self, design):
+        """Flits from one source leave in FIFO order (no reordering in the
+        source queue)."""
+        b = make_bench(design)
+        pids = [b.inject(0, 3) for _ in range(5)]
+        b.run_until_quiescent(max_cycles=500)
+        by_pid = {f.packet_id: c for f, c in b.delivered}
+        cycles = [by_pid[p] for p in pids]
+        assert cycles == sorted(cycles)
+
+    def test_network_entry_marked_once(self):
+        b = make_bench("dxbar_dor")
+        b.inject(0, 3)
+        b.run_until_quiescent()
+        flit, cycle = b.delivered[0]
+        assert 0 <= flit.network_entry_cycle <= cycle
+
+
+class TestEjectionPortContention:
+    @pytest.mark.parametrize("design", ["dxbar_dor", "unified_dor"])
+    def test_local_output_serialises_ejections(self, design):
+        """Two flits reaching the destination in the same cycle cannot both
+        use the single LOCAL output; the loser is buffered one cycle."""
+        b = make_bench(design)
+        b.inject(4, 5)  # 1 hop east
+        b.inject(1, 5)  # 1 hop north
+        b.run_until_quiescent(max_cycles=200)
+        cycles = sorted(c for _, c in b.delivered)
+        assert cycles[0] == 2
+        assert cycles[1] == 3  # buffered, out through the secondary next cycle
+
+
+class TestFairnessAnalysis:
+    def test_jain_index_bounds(self):
+        from repro.analysis.fairness import jain_index
+
+        assert jain_index([1, 1, 1, 1]) == pytest.approx(1.0)
+        assert jain_index([4, 0, 0, 0]) == pytest.approx(0.25)
+        assert jain_index([0, 0]) == 1.0
+        with pytest.raises(ValueError):
+            jain_index([])
+        with pytest.raises(ValueError):
+            jain_index([-1, 2])
+
+    def test_center_nodes_are_disadvantaged_at_saturation(self):
+        """The paper's §II.A.2 observation quantified: at saturation,
+        center nodes inject less than edge nodes under age arbitration
+        (transit traffic holds their outputs), regardless of threshold.
+        The counter's guarantee is *bounded waiting* (tested in
+        test_router_dxbar), not equal shares."""
+        from repro.analysis.fairness import fairness_ablation
+        from repro.sim.config import SimConfig
+
+        base = SimConfig(
+            pattern="UR",
+            offered_load=0.6,
+            warmup_cycles=200,
+            measure_cycles=900,
+            drain_cycles=0,
+            seed=7,
+        )
+        reports = fairness_ablation(thresholds=(4, 1_000_000), base=base)
+        for report in reports.values():
+            assert report.center_edge_ratio < 1.0  # the §II.A.2 phenomenon
+            assert 0.0 < report.jain_injection <= 1.0
+            assert len(report.per_node_injected) == 64
+            assert "Jain" in report.summary()

@@ -1,0 +1,94 @@
+"""Tests for network construction, wiring and invariants."""
+
+import pytest
+
+from tests.conftest import make_bench
+
+from repro.sim.config import FaultConfig, SimConfig
+from repro.sim.network import Network
+from repro.sim.ports import OPPOSITE, Port
+from repro.sim.stats import StatsCollector
+
+
+def _network(design="dxbar_dor", k=4, **kw):
+    cfg = SimConfig(design=design, k=k, **kw)
+    return Network(cfg, StatsCollector(cfg.num_nodes))
+
+
+class TestWiring:
+    def test_router_count(self):
+        assert len(_network(k=4).routers) == 16
+
+    def test_link_count(self):
+        # 2 directions * 2 dims * k * (k-1)
+        assert len(_network(k=4).links) == 48
+
+    def test_links_connect_matching_ports(self):
+        net = _network(k=4)
+        for src, port, dst in net.mesh.edges():
+            link = net.routers[src].out_links[port]
+            assert link is net.routers[dst].in_links[OPPOSITE[port]]
+
+    def test_credit_channels_only_for_buffered_designs(self):
+        assert _network("buffered4").credit_channels
+        assert not _network("flit_bless").credit_channels
+        assert not _network("dxbar_dor").credit_channels  # bufferless links
+
+    def test_credit_budget_wiring(self):
+        net = _network("buffered8", buffer_depth=4)
+        center = net.routers[5]
+        assert all(c == 8 for c in center.credits.values())
+
+    def test_edge_routers_have_fewer_ports(self):
+        net = _network(k=4)
+        corner = net.routers[0]
+        assert len(corner.in_links) == 2
+        assert len(corner.out_links) == 2
+
+
+class TestInjection:
+    def test_inject_packet_fans_out_flits(self):
+        net = _network()
+        pid = net.inject_packet(0, 5, cycle=0, num_flits=4)
+        assert net.active_flits == 4
+        assert net.routers[0].source_queue_len == 4
+
+    def test_self_injection_rejected(self):
+        net = _network()
+        with pytest.raises(ValueError):
+            net.inject_packet(3, 3, cycle=0)
+
+    def test_packet_ids_unique(self):
+        net = _network()
+        ids = {net.inject_packet(0, 1, cycle=0) for _ in range(10)}
+        assert len(ids) == 10
+
+
+class TestFaultApplication:
+    def test_fault_plan_applied_to_routers(self):
+        cfg = SimConfig(
+            design="dxbar_dor", k=4, faults=FaultConfig(percent=50, seed=3)
+        )
+        net = Network(cfg, StatsCollector(16))
+        faulty = [r for r in net.routers if r.fault is not None]
+        assert len(faulty) == 8
+
+    def test_no_faults_by_default(self):
+        net = _network()
+        assert all(r.fault is None for r in net.routers)
+
+
+class TestConservation:
+    def test_conservation_under_load(self, any_design):
+        b = make_bench(any_design)
+        for i in range(16):
+            b.inject(i % 16, (i + 5) % 16)
+        for _ in range(30):
+            b.step()
+            b.network.check_conservation()
+        b.run_until_quiescent(max_cycles=2000)
+        b.network.check_conservation()
+        assert b.stats.total_injected_flits == b.stats.total_ejected_flits
+
+    def test_quiescent_initially(self):
+        assert _network().quiescent()

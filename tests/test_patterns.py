@@ -1,0 +1,177 @@
+"""Tests for the nine synthetic traffic patterns."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.topology import Mesh
+from repro.traffic.patterns import (
+    BitReversal,
+    Butterfly,
+    Complement,
+    MatrixTranspose,
+    Neighbor,
+    NonUniformRandom,
+    PerfectShuffle,
+    Tornado,
+    UniformRandom,
+    make_pattern,
+    pattern_names,
+)
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return Mesh(8)
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(123)
+
+
+class TestRegistry:
+    def test_nine_patterns(self):
+        assert len(pattern_names()) == 9
+
+    def test_all_constructible(self, mesh):
+        for name in pattern_names():
+            p = make_pattern(name, mesh)
+            assert p.name == name
+
+    def test_unknown_rejected(self, mesh):
+        with pytest.raises(ValueError):
+            make_pattern("XX", mesh)
+
+    def test_bit_patterns_need_pow2(self):
+        mesh6 = Mesh(6)  # 36 nodes, not a power of two
+        for name in ("BR", "BF", "CP", "PS"):
+            with pytest.raises(ValueError, match="power-of-two"):
+                make_pattern(name, mesh6)
+        # coordinate patterns don't care
+        make_pattern("MT", mesh6)
+        make_pattern("NB", mesh6)
+        make_pattern("TOR", mesh6)
+
+
+class TestPermutations:
+    def test_bit_reversal(self, mesh):
+        br = BitReversal(mesh)
+        # 0b000001 -> 0b100000
+        assert br._permute(1) == 32
+        assert br._permute(0) == 0
+
+    def test_bit_reversal_is_involution(self, mesh):
+        br = BitReversal(mesh)
+        for s in range(64):
+            assert br._permute(br._permute(s)) == s
+
+    def test_butterfly_swaps_msb_lsb(self, mesh):
+        bf = Butterfly(mesh)
+        assert bf._permute(0b000001) == 0b100000
+        assert bf._permute(0b100000) == 0b000001
+        assert bf._permute(0b100001) == 0b100001
+
+    def test_complement(self, mesh):
+        cp = Complement(mesh)
+        assert cp._permute(0) == 63
+        assert cp._permute(0b101010) == 0b010101
+
+    def test_transpose(self, mesh):
+        mt = MatrixTranspose(mesh)
+        assert mt._permute(mesh.node_at(2, 5)) == mesh.node_at(5, 2)
+
+    def test_transpose_diagonal_fixed(self, mesh, rng):
+        mt = MatrixTranspose(mesh)
+        diag = mesh.node_at(3, 3)
+        assert mt.sample_dest(diag, rng) is None
+
+    def test_perfect_shuffle_rotates(self, mesh):
+        ps = PerfectShuffle(mesh)
+        assert ps._permute(0b100000) == 0b000001
+        assert ps._permute(0b000011) == 0b000110
+
+    def test_neighbor_wraps(self, mesh):
+        nb = Neighbor(mesh)
+        assert nb._permute(mesh.node_at(7, 2)) == mesh.node_at(0, 2)
+
+    def test_tornado_half_ring(self, mesh):
+        tor = Tornado(mesh)
+        assert tor._permute(mesh.node_at(0, 4)) == mesh.node_at(3, 4)
+
+    def test_permutations_are_bijections(self, mesh):
+        for cls in (BitReversal, Butterfly, Complement, MatrixTranspose, PerfectShuffle, Neighbor, Tornado):
+            p = cls(mesh)
+            images = {p._permute(s) for s in range(64)}
+            assert len(images) == 64, cls.__name__
+
+
+class TestWeights:
+    def test_ur_weights_uniform(self, mesh):
+        ur = UniformRandom(mesh)
+        w = ur.weights(10)
+        assert 10 not in w
+        assert len(w) == 63
+        assert abs(sum(w.values()) - 1.0) < 1e-12
+
+    def test_nur_hotspots_get_extra_mass(self, mesh):
+        nur = NonUniformRandom(mesh)
+        w = nur.weights(0)
+        hot = nur.hotspots[0]
+        cold = mesh.node_at(7, 0)
+        assert w[hot] > 2 * w[cold]
+        assert abs(sum(w.values()) - 1.0) < 1e-9
+
+    def test_nur_hotspots_are_central(self, mesh):
+        nur = NonUniformRandom(mesh)
+        assert len(nur.hotspots) == 4
+        for h in nur.hotspots:
+            x, y = mesh.coords(h)
+            assert x in (3, 4) and y in (3, 4)
+
+    def test_permutation_weights_single_target(self, mesh):
+        tor = Tornado(mesh)
+        w = tor.weights(0)
+        assert len(w) == 1 and abs(sum(w.values()) - 1.0) < 1e-12
+
+
+class TestSampling:
+    def test_ur_never_self(self, mesh, rng):
+        ur = UniformRandom(mesh)
+        for _ in range(500):
+            assert ur.sample_dest(17, rng) != 17
+
+    def test_ur_statistics_match_weights(self, mesh):
+        """Chi-square-ish check: empirical frequencies near 1/63."""
+        rng = np.random.default_rng(7)
+        ur = UniformRandom(mesh)
+        counts = np.zeros(64)
+        n = 20000
+        for _ in range(n):
+            counts[ur.sample_dest(0, rng)] += 1
+        freqs = counts / n
+        assert freqs[0] == 0
+        assert np.all(np.abs(freqs[1:] - 1 / 63) < 0.01)
+
+    def test_nur_hotspot_frequency(self, mesh):
+        rng = np.random.default_rng(7)
+        nur = NonUniformRandom(mesh)
+        n = 20000
+        hits = sum(1 for _ in range(n) if nur.sample_dest(0, rng) in nur.hotspots)
+        # 25% directed + ~6% of the uniform 75%.
+        expect = 0.25 + 0.75 * 4 / 63
+        assert abs(hits / n - expect) < 0.02
+
+    @given(st.sampled_from(pattern_names()), st.integers(0, 63))
+    @settings(max_examples=60, deadline=None)
+    def test_sampled_dest_in_weight_support(self, name, src):
+        mesh = Mesh(8)
+        rng = np.random.default_rng(5)
+        p = make_pattern(name, mesh)
+        w = p.weights(src)
+        for _ in range(5):
+            d = p.sample_dest(src, rng)
+            if d is None:
+                assert not w
+            else:
+                assert d in w

@@ -1,0 +1,69 @@
+"""Unit tests for repro.sim.ports."""
+
+import pytest
+
+from repro.sim.ports import (
+    DELTA,
+    DIRECTIONS,
+    NUM_DIRECTIONS,
+    NUM_PORTS,
+    OPPOSITE,
+    Port,
+    opposite,
+    port_toward,
+)
+
+
+class TestPort:
+    def test_values_are_stable_indices(self):
+        assert [int(p) for p in Port] == [0, 1, 2, 3, 4]
+
+    def test_local_is_not_a_direction(self):
+        assert not Port.LOCAL.is_direction
+
+    def test_cardinals_are_directions(self):
+        for p in DIRECTIONS:
+            assert p.is_direction
+
+    def test_directions_count(self):
+        assert len(DIRECTIONS) == NUM_DIRECTIONS == 4
+        assert NUM_PORTS == 5
+
+
+class TestOpposite:
+    def test_opposite_is_involution(self):
+        for p in DIRECTIONS:
+            assert opposite(opposite(p)) == p
+
+    def test_pairs(self):
+        assert OPPOSITE[Port.NORTH] == Port.SOUTH
+        assert OPPOSITE[Port.EAST] == Port.WEST
+
+    def test_local_has_no_opposite(self):
+        assert Port.LOCAL not in OPPOSITE
+
+
+class TestDelta:
+    def test_deltas_are_unit_vectors(self):
+        for p, (dx, dy) in DELTA.items():
+            assert abs(dx) + abs(dy) == 1
+
+    def test_opposite_deltas_cancel(self):
+        for p in DIRECTIONS:
+            dx, dy = DELTA[p]
+            ox, oy = DELTA[OPPOSITE[p]]
+            assert (dx + ox, dy + oy) == (0, 0)
+
+
+class TestPortToward:
+    def test_x_takes_priority(self):
+        assert port_toward(3, 5) == Port.EAST
+        assert port_toward(-1, 5) == Port.WEST
+
+    def test_y_when_x_zero(self):
+        assert port_toward(0, 2) == Port.NORTH
+        assert port_toward(0, -2) == Port.SOUTH
+
+    def test_zero_displacement_raises(self):
+        with pytest.raises(ValueError):
+            port_toward(0, 0)

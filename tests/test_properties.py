@@ -1,0 +1,122 @@
+"""Property-based tests over whole-network behaviour (hypothesis)."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from tests.conftest import ALL_DESIGNS, make_bench
+
+from repro.sim.config import FaultConfig, SimConfig
+from repro.sim.engine import run_simulation
+
+
+@st.composite
+def injection_plans(draw):
+    """A random batch of (src, dst, nflits, delay) injections on a 4x4 mesh."""
+    n = draw(st.integers(1, 12))
+    plan = []
+    for _ in range(n):
+        src = draw(st.integers(0, 15))
+        dst = draw(st.integers(0, 15).filter(lambda d: True))
+        if dst == src:
+            dst = (dst + 1) % 16
+        nflits = draw(st.integers(1, 3))
+        delay = draw(st.integers(0, 5))
+        plan.append((src, dst, nflits, delay))
+    return plan
+
+
+class TestConservationProperties:
+    @given(design=st.sampled_from(ALL_DESIGNS), plan=injection_plans())
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_every_flit_delivered_exactly_once(self, design, plan):
+        b = make_bench(design)
+        total = 0
+        for src, dst, nflits, delay in plan:
+            b.step(delay)
+            b.inject(src, dst, num_flits=nflits)
+            total += nflits
+        b.run_until_quiescent(max_cycles=4000)
+        fids = b.delivered_fids()
+        assert len(fids) == total
+        assert len(set(fids)) == total
+        b.network.check_conservation()
+
+    @given(design=st.sampled_from(ALL_DESIGNS), plan=injection_plans())
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_hop_counts_bounded(self, design, plan):
+        """Hops are at least the Manhattan distance; non-deflecting designs
+        match it exactly."""
+        b = make_bench(design)
+        for src, dst, nflits, delay in plan:
+            b.inject(src, dst, num_flits=nflits)
+        b.run_until_quiescent(max_cycles=4000)
+        mesh = b.network.mesh
+        for f, _ in b.delivered:
+            minimal = mesh.manhattan(f.src, f.dst)
+            assert f.hops >= minimal
+            if design in ("buffered4", "buffered8"):
+                assert f.hops == minimal  # DOR never misroutes
+            if design.startswith(("dxbar", "unified")):
+                # Only overflow-deflections can add hops, in pairs-ish.
+                assert f.hops == minimal or f.deflections > 0
+
+    @given(
+        plan=injection_plans(),
+        percent=st.sampled_from([25.0, 50.0, 100.0]),
+        seed=st.integers(0, 5),
+    )
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_faulty_dxbar_never_loses_flits(self, plan, percent, seed):
+        """Hardware fault tolerance: every flit still arrives with any
+        fraction of broken crossbars."""
+        b = make_bench(
+            "dxbar_dor",
+            faults=FaultConfig(percent=percent, seed=seed, manifest_window=10),
+        )
+        total = 0
+        for src, dst, nflits, delay in plan:
+            b.inject(src, dst, num_flits=nflits)
+            total += nflits
+        b.run_until_quiescent(max_cycles=4000)
+        assert len(b.delivered) == total
+
+
+class TestSimulationProperties:
+    @given(
+        design=st.sampled_from(ALL_DESIGNS),
+        load=st.floats(0.02, 0.2),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_low_load_accepted_matches_offered(self, design, load, seed):
+        cfg = SimConfig(
+            design=design,
+            k=4,
+            pattern="UR",
+            offered_load=load,
+            warmup_cycles=100,
+            measure_cycles=400,
+            drain_cycles=100,
+            packet_size=1,
+            seed=seed,
+        )
+        r = run_simulation(cfg)
+        assert abs(r.accepted_load - load) < 0.08
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_energy_components_non_negative(self, seed):
+        cfg = SimConfig(
+            design="scarab",
+            k=4,
+            offered_load=0.3,
+            warmup_cycles=50,
+            measure_cycles=300,
+            drain_cycles=50,
+            seed=seed,
+        )
+        r = run_simulation(cfg)
+        assert r.energy_buffer_nj >= 0
+        assert r.energy_xbar_nj >= 0
+        assert r.energy_link_nj >= 0
+        assert r.energy_nack_nj >= 0
+        assert r.total_energy_nj >= r.energy_link_nj

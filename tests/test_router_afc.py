@@ -1,0 +1,105 @@
+"""Behavioural tests for the AFC (adaptive flow control) extension router."""
+
+import pytest
+
+from tests.conftest import make_bench
+
+from repro.routers.afc import (
+    BUFFERED_MODE,
+    BUFFERLESS_MODE,
+    DEFLECT_HI,
+    MODE_WINDOW,
+    AFCRouter,
+)
+from repro.sim.config import SimConfig
+from repro.sim.engine import run_simulation
+
+
+class TestModeControl:
+    def test_starts_bufferless(self):
+        b = make_bench("afc")
+        assert all(r.mode == BUFFERLESS_MODE for r in b.network.routers)
+
+    def test_zero_load_latency_matches_bless(self):
+        for design in ("afc", "flit_bless"):
+            b = make_bench(design)
+            b.inject(0, 3)
+            b.run_until_quiescent()
+            assert b.delivered[0][1] == 6, design
+
+    def test_no_buffer_energy_at_idle(self):
+        b = make_bench("afc")
+        b.inject(0, 15)
+        b.run_until_quiescent()
+        assert b.stats.energy_buffer_pj == 0.0
+
+    def test_deflection_storm_triggers_buffered_mode(self):
+        b = make_bench("afc")
+        # Hammer one router with conflicting streams across mode windows.
+        for i in range(3 * MODE_WINDOW):
+            b.inject(1, 13)
+            b.inject(4, 13)
+            b.step()
+        assert any(r.mode == BUFFERED_MODE for r in b.network.routers)
+        assert any(r.mode_switches > 0 for r in b.network.routers)
+        b.run_until_quiescent(max_cycles=4000)
+
+    def test_returns_to_bufferless_after_storm(self):
+        b = make_bench("afc")
+        for i in range(2 * MODE_WINDOW):
+            b.inject(1, 13)
+            b.inject(4, 13)
+            b.step()
+        b.run_until_quiescent(max_cycles=4000)
+        b.step(4 * MODE_WINDOW)  # idle windows
+        assert all(r.mode == BUFFERLESS_MODE for r in b.network.routers)
+
+    def test_delivery_guaranteed_across_mode_switches(self):
+        b = make_bench("afc")
+        total = 0
+        for i in range(40):
+            b.inject(1, 13)
+            b.inject(4, 13)
+            b.inject(13, 1)
+            total += 3
+            b.step()
+        b.run_until_quiescent(max_cycles=5000)
+        assert len(b.delivered) == total
+
+
+class TestHybridBehaviour:
+    def _run(self, design, load):
+        return run_simulation(
+            SimConfig(
+                design=design,
+                pattern="UR",
+                offered_load=load,
+                warmup_cycles=300,
+                measure_cycles=800,
+                drain_cycles=6000,
+                seed=13,
+            )
+        )
+
+    def test_afc_beats_bless_throughput_at_high_load(self):
+        afc = self._run("afc", 0.6)
+        bless = self._run("flit_bless", 0.6)
+        assert afc.accepted_load > bless.accepted_load
+
+    def test_afc_cheaper_than_bless_at_high_load(self):
+        afc = self._run("afc", 0.6)
+        bless = self._run("flit_bless", 0.6)
+        assert afc.energy_per_packet_nj < bless.energy_per_packet_nj
+
+    def test_afc_cheaper_than_buffered_at_low_load(self):
+        afc = self._run("afc", 0.1)
+        b4 = self._run("buffered4", 0.1)
+        assert afc.energy_per_packet_nj < b4.energy_per_packet_nj
+
+    def test_dxbar_still_wins_without_mode_complexity(self):
+        """The paper's pitch: DXbar gets the hybrid benefit in hardware,
+        without per-router flow-control switching."""
+        afc = self._run("afc", 0.5)
+        dx = self._run("dxbar_dor", 0.5)
+        assert dx.energy_per_packet_nj < afc.energy_per_packet_nj
+        assert dx.accepted_load >= afc.accepted_load - 0.01

@@ -1,0 +1,123 @@
+"""Behavioural tests for the Buffered-4 / Buffered-8 baseline routers."""
+
+import pytest
+
+from tests.conftest import make_bench
+
+from repro.sim.ports import Port
+
+
+class TestPipeline:
+    def test_three_cycles_per_hop(self):
+        """The 3-stage baseline pipeline (RC, SA/ST, LT): one extra cycle
+        of SA eligibility per hop compared to DXbar."""
+        b = make_bench("buffered4")
+        b.inject(0, 1)
+        b.run_until_quiescent()
+        assert b.delivered[0][1] == 4  # 3h + 1 (injection-side RC)
+
+        b = make_bench("buffered4")
+        b.inject(0, 3)
+        b.run_until_quiescent()
+        assert b.delivered[0][1] == 10
+
+    def test_every_hop_buffers(self):
+        """The generic router writes every flit into a FIFO at every hop —
+        the energy behaviour the paper contrasts DXbar against."""
+        b = make_bench("buffered4")
+        b.inject(0, 2)
+        b.run_until_quiescent()
+        assert b.stats.energy_buffer_pj > 0
+
+
+class TestCreditFlowControl:
+    def test_fifo_never_overflows_under_hotspot(self):
+        b = make_bench("buffered4")
+        for i in range(12):
+            b.inject(1, 13)
+            b.inject(4, 13)
+        for _ in range(80):
+            b.step()
+            for r in b.network.routers:
+                for banks in r.fifos.values():
+                    for bank in banks:
+                        assert len(bank) <= 4
+        b.run_until_quiescent(max_cycles=1000)
+        assert len(b.delivered) == 24
+
+    def test_credits_return_after_drain(self):
+        b = make_bench("buffered4")
+        for i in range(6):
+            b.inject(0, 15)
+        b.run_until_quiescent(max_cycles=500)
+        # Let in-flight credit returns land (1-cycle channel latency).
+        b.step(3)
+        depth = b.config.buffer_depth
+        for r in b.network.routers:
+            for port, credits in r.credits.items():
+                assert credits == depth
+
+    def test_no_flit_lost_under_contention(self):
+        b = make_bench("buffered4")
+        for i in range(10):
+            for src, dst in ((1, 13), (4, 13), (13, 1), (7, 4)):
+                b.inject(src, dst)
+        b.run_until_quiescent(max_cycles=2000)
+        assert len(b.delivered) == 40
+
+
+class TestBuffered8:
+    def test_double_credit_budget(self):
+        b4 = make_bench("buffered4")
+        b8 = make_bench("buffered8")
+        assert b8.router(5).credit_budget() == 2 * b4.router(5).credit_budget()
+
+    def test_two_banks_per_input(self):
+        b = make_bench("buffered8")
+        assert all(len(banks) == 2 for banks in b.router(5).fifos.values())
+
+    def test_hol_relief(self):
+        """With the head of one bank blocked, a younger flit for a free
+        output still proceeds — Buffered-8's reason to exist."""
+        b8 = make_bench("buffered8")
+        b4 = make_bench("buffered4")
+        for bench in (b8, b4):
+            # Stream hogging NORTH at node 5, then one flit needing EAST.
+            for i in range(6):
+                bench.inject(1, 13)
+            bench.step(2)
+            bench.inject(1, 7)  # east through node 5... blocked behind the stream?
+            bench.run_until_quiescent(max_cycles=1000)
+        t8 = max(c for f, c in b8.delivered if f.dst == 7)
+        t4 = max(c for f, c in b4.delivered if f.dst == 7)
+        assert t8 <= t4
+
+    def test_all_delivered(self):
+        b = make_bench("buffered8")
+        for i in range(20):
+            b.inject(1, 13)
+            b.inject(4, 13)
+        b.run_until_quiescent(max_cycles=2000)
+        assert len(b.delivered) == 40
+
+
+class TestAllocatorBehaviour:
+    def test_one_grant_per_output_per_cycle(self):
+        """Two flits contending for one output leave on different cycles."""
+        b = make_bench("buffered4")
+        a = b.inject(1, 13)
+        c = b.inject(4, 13)
+        b.run_until_quiescent(max_cycles=500)
+        cycles = sorted(cycle for _, cycle in b.delivered)
+        assert cycles[0] != cycles[1]
+
+    def test_round_robin_is_fair_across_inputs(self):
+        """Sustained two-input contention shares the output roughly 50/50."""
+        b = make_bench("buffered4")
+        for i in range(20):
+            b.inject(1, 13)
+            b.inject(4, 13)
+        b.run_until_quiescent(max_cycles=3000)
+        north = [f for f, _ in b.delivered if f.src == 1]
+        east = [f for f, _ in b.delivered if f.src == 4]
+        assert len(north) == 20 and len(east) == 20

@@ -1,0 +1,225 @@
+"""Behavioural tests for the DXbar router — including the paper's Fig 3
+walkthrough scenarios.
+
+Scenarios run on a 4x4 mesh through the Bench harness; node ids:
+``(x, y) -> y*4 + x``.  Link latency is 2 cycles (SA/ST + LT), so an
+unobstructed flit travels one hop every 2 cycles and ejects at
+``2 * hops`` when injected at cycle 0.
+"""
+
+import pytest
+
+from tests.conftest import make_bench
+
+from repro.core.faults import PRIMARY, SECONDARY, RouterFault
+from repro.sim.ports import Port
+
+
+class TestZeroLoad:
+    def test_single_cycle_switching(self):
+        """2 cycles per hop: the SA/ST + LT pipeline of Fig 2(d)."""
+        for hops, dst in ((1, 1), (2, 2), (3, 3)):
+            b = make_bench("dxbar_dor")
+            b.inject(0, dst)
+            b.run_until_quiescent()
+            assert b.delivered[0][1] == 2 * hops
+
+    def test_no_buffering_without_conflict(self):
+        b = make_bench("dxbar_dor")
+        b.inject(0, 15)  # corner to corner
+        b.run_until_quiescent()
+        flit, _ = b.delivered[0]
+        assert flit.buffered_events == 0
+        assert flit.hops == 6
+
+    def test_one_cycle_faster_than_baseline_per_hop(self):
+        """DXbar's 2-stage pipeline vs the baseline's 3-stage."""
+        for design, expected in (("dxbar_dor", 6), ("buffered4", 10)):
+            b = make_bench(design)
+            b.inject(0, 3)  # 3 hops
+            b.run_until_quiescent()
+            assert b.delivered[0][1] == expected
+
+
+class TestFig3Walkthrough:
+    """The four scenarios of Fig 3."""
+
+    def _conflict_bench(self):
+        """Two flits arriving at node 5=(1,1) in the same cycle, both
+        wanting the NORTH output (Fig 3(b))."""
+        b = make_bench("dxbar_dor")
+        a = b.inject(1, 13)  # (1,0) -> (1,3): north through 5
+        c = b.inject(4, 13)  # (0,1) -> (1,3): east to 5, then north
+        return b, a, c
+
+    def test_a_no_conflict_all_switch_simultaneously(self):
+        """Fig 3(a): four crossing flits, zero buffering."""
+        b = make_bench("dxbar_dor")
+        b.inject(4, 7)    # west -> east along y=1
+        b.inject(7, 4)    # east -> west along y=1
+        b.inject(1, 13)   # south -> north along x=1
+        b.inject(13, 1)   # north -> south along x=1
+        b.run_until_quiescent()
+        assert len(b.delivered) == 4
+        assert all(f.buffered_events == 0 for f, _ in b.delivered)
+
+    def test_b_loser_is_buffered_not_deflected(self):
+        """Fig 3(b): the younger conflicting flit goes to the secondary
+        crossbar's buffer; nobody deflects, nobody drops."""
+        b, a, c = self._conflict_bench()
+        b.run_until_quiescent()
+        flits = {f.packet_id: f for f, _ in b.delivered}
+        assert flits[a].buffered_events == 0  # older (injected first) won
+        assert flits[c].buffered_events == 1
+        assert all(f.deflections == 0 for f in flits.values())
+        assert all(f.hops == 3 for f in flits.values())  # minimal paths
+
+    def test_b_age_priority_not_arrival_port(self):
+        """Swap injection order: the *older* flit wins regardless of port."""
+        b = make_bench("dxbar_dor")
+        c = b.inject(4, 13)  # now this one is older
+        a = b.inject(1, 13)
+        b.run_until_quiescent()
+        flits = {f.packet_id: f for f, _ in b.delivered}
+        assert flits[c].buffered_events == 0
+        assert flits[a].buffered_events == 1
+
+    def test_c_following_flit_sees_no_backpressure(self):
+        """Fig 3(c): the flit arriving behind a buffered flit proceeds
+        immediately — the buffered flit is off the critical path."""
+        b, a, c = self._conflict_bench()
+        b.step()
+        d = b.inject(4, 7)  # same input as the buffered flit, wants EAST
+        b.run_until_quiescent()
+        flits = {f.packet_id: f for f, _ in b.delivered}
+        assert flits[d].buffered_events == 0
+
+    def test_d_buffered_and_incoming_same_input_same_cycle(self):
+        """Fig 3(d): the buffered flit leaves through the secondary
+        crossbar in the same cycle an incoming flit from the same input
+        takes the primary — both eject at cycle 7."""
+        b, a, c = self._conflict_bench()
+        b.step()
+        d = b.inject(4, 7)
+        b.run_until_quiescent()
+        by_pkt = {f.packet_id: cycle for f, cycle in b.delivered}
+        assert by_pkt[a] == 6
+        # c was buffered one cycle at node 5, d passed straight through;
+        # they traverse node 5 in the same cycle (3) and eject together.
+        assert by_pkt[c] == 7
+        assert by_pkt[d] == 7
+
+    def test_every_flit_keeps_minimal_hop_count(self):
+        """Buffering (unlike deflection) never adds hops."""
+        b, a, c = self._conflict_bench()
+        b.run_until_quiescent()
+        for f, _ in b.delivered:
+            assert f.hops == b.network.mesh.manhattan(f.src, f.dst)
+
+
+class TestFairness:
+    def test_injection_not_starved_under_crossing_stream(self):
+        """A continuous stream through a router cannot starve its PE
+        injection forever (the fairness counter flips priority)."""
+        b = make_bench("dxbar_dor", fairness_threshold=4)
+        # Saturate the EAST output of node 5 with a stream from node 4.
+        for i in range(30):
+            b.inject(4, 7)
+        b.step(4)
+        victim = b.inject(5, 7)  # same EAST output, injected at node 5
+        b.run_until_quiescent(max_cycles=500)
+        victim_cycle = next(c for f, c in b.delivered if f.packet_id == victim)
+        # Without fairness the victim would wait ~60 cycles for the stream
+        # to drain; the flip bounds its wait.
+        assert victim_cycle < 40
+        assert b.stats.fairness_flips > 0
+
+    def test_threshold_configurable(self):
+        b = make_bench("dxbar_dor", fairness_threshold=7)
+        assert b.router(5).fairness.threshold == 7
+
+
+class TestOverflowDeflection:
+    def test_full_fifo_deflects_instead_of_overflowing(self):
+        """With a tiny buffer and a hammered output, losers eventually
+        deflect (the MinBD-style escape valve) — and still arrive."""
+        b = make_bench("dxbar_dor", buffer_depth=1)
+        for i in range(12):
+            b.inject(1, 13)   # stream north through node 5
+            b.inject(4, 13)   # conflicting stream east-then-north
+        b.run_until_quiescent(max_cycles=2000)
+        assert len(b.delivered) == 24
+        assert sum(f.deflections for f, _ in b.delivered) > 0
+
+    def test_occupancy_never_exceeds_depth(self):
+        b = make_bench("dxbar_dor", buffer_depth=2)
+        for i in range(10):
+            b.inject(1, 13)
+            b.inject(4, 13)
+        for _ in range(60):
+            b.step()
+            for r in b.network.routers:
+                for fifo in r.fifos.values():
+                    assert len(fifo) <= 2
+
+
+class TestWestFirstAdaptivity:
+    def test_buffered_flit_redirects_to_free_productive_port(self):
+        """Section II.B: a buffered WF flit may leave through a different
+        progressive direction the next cycle."""
+        b = make_bench("dxbar_wf")
+        # Target with two productive ports from node 5: (3,3) = 15.
+        blocker = b.inject(1, 13)   # holds NORTH at node 5 at cycle 2
+        flex = b.inject(4, 15)      # at node 5 may go EAST or NORTH
+        b.run_until_quiescent()
+        flits = {f.packet_id: f for f, _ in b.delivered}
+        # The flexible flit should not be buffered at all: when NORTH is
+        # taken it adapts to EAST in the same cycle.
+        assert flits[flex].buffered_events == 0
+        assert flits[flex].hops == 5  # minimal: |3-0| + |3-1|
+
+
+class TestDXbarFaults:
+    def _run_with_fault(self, crossbar, manifest=2, detect=7):
+        b = make_bench("dxbar_dor")
+        b.router(5).fault = RouterFault(
+            crossbar, manifest_cycle=manifest, detected_cycle=detect
+        )
+        for i in range(6):
+            b.inject(4, 7)   # stream through node 5
+        b.inject(1, 13)
+        b.run_until_quiescent(max_cycles=1000)
+        return b
+
+    def test_primary_fault_still_delivers_everything(self):
+        b = self._run_with_fault(PRIMARY)
+        assert len(b.delivered) == 7
+        assert b.stats.fault_reconfigurations == 1
+
+    def test_secondary_fault_still_delivers_everything(self):
+        b = self._run_with_fault(SECONDARY)
+        assert len(b.delivered) == 7
+        assert b.stats.fault_reconfigurations == 1
+
+    def test_degraded_mode_buffers_every_flit(self):
+        """After detection the router behaves as a buffered router."""
+        b = make_bench("dxbar_dor")
+        b.router(5).fault = RouterFault(PRIMARY, manifest_cycle=0, detected_cycle=0)
+        b.inject(4, 7)
+        b.run_until_quiescent()
+        flit, _ = b.delivered[0]
+        assert flit.buffered_events == 1  # buffered at the degraded router
+
+    def test_fault_before_manifest_is_harmless(self):
+        b = make_bench("dxbar_dor")
+        b.router(5).fault = RouterFault(PRIMARY, manifest_cycle=10**6, detected_cycle=10**6)
+        b.inject(4, 7)
+        b.run_until_quiescent()
+        assert b.delivered[0][0].buffered_events == 0
+        assert b.stats.fault_reconfigurations == 0
+
+    def test_reconfiguration_counted_once(self):
+        b = self._run_with_fault(PRIMARY)
+        b.inject(4, 7)
+        b.run_until_quiescent(max_cycles=1000)
+        assert b.stats.fault_reconfigurations == 1

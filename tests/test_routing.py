@@ -1,0 +1,208 @@
+"""Tests for DOR, West-First and minimal-adaptive routing.
+
+Includes the deadlock-freedom property both deterministic algorithms rely
+on: the channel dependency graph induced by the allowed turns must be
+acyclic (Dally & Seitz) — checked with networkx.
+"""
+
+import networkx as nx
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.routing.adaptive import MinimalAdaptiveRouting
+from repro.routing.dor import DORRouting
+from repro.routing.westfirst import WestFirstRouting
+from repro.sim.ports import DELTA, Port
+from repro.sim.topology import Mesh
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return Mesh(8)
+
+
+@pytest.fixture(scope="module")
+def dor(mesh):
+    return DORRouting(mesh)
+
+
+@pytest.fixture(scope="module")
+def wf(mesh):
+    return WestFirstRouting(mesh)
+
+
+@pytest.fixture(scope="module")
+def adaptive(mesh):
+    return MinimalAdaptiveRouting(mesh)
+
+
+def walk(routing, mesh, src, dst, choose=0):
+    """Follow the routing function, always taking candidate ``choose`` (mod
+    the candidate count); returns the hop count."""
+    cur, hops = src, 0
+    while cur != dst:
+        cands = routing.candidates(cur, dst)
+        port = cands[choose % len(cands)]
+        assert port != Port.LOCAL
+        cur = mesh.neighbor(cur, port)
+        assert cur is not None, "routing walked off the mesh"
+        hops += 1
+        assert hops <= 100, "routing cycle detected"
+    return hops
+
+
+class TestDOR:
+    def test_single_candidate_everywhere(self, dor, mesh):
+        for src in (0, 13, 63):
+            for dst in range(64):
+                if src != dst:
+                    assert len(dor.candidates(src, dst)) == 1
+
+    def test_local_at_destination(self, dor):
+        assert dor.candidates(5, 5) == (Port.LOCAL,)
+
+    def test_x_before_y(self, dor, mesh):
+        src = mesh.node_at(0, 0)
+        dst = mesh.node_at(3, 3)
+        assert dor.first(src, dst) == Port.EAST
+        mid = mesh.node_at(3, 0)
+        assert dor.first(mid, dst) == Port.NORTH
+
+    @given(st.integers(0, 63), st.integers(0, 63))
+    def test_paths_are_minimal(self, a, b):
+        mesh = Mesh(8)
+        dor = TestDOR._shared_dor(mesh)
+        if a != b:
+            assert walk(dor, mesh, a, b) == mesh.manhattan(a, b)
+
+    _dor_cache = {}
+
+    @classmethod
+    def _shared_dor(cls, mesh):
+        if mesh.k not in cls._dor_cache:
+            cls._dor_cache[mesh.k] = DORRouting(mesh)
+        return cls._dor_cache[mesh.k]
+
+
+class TestWestFirst:
+    def test_west_has_no_alternatives(self, wf, mesh):
+        src = mesh.node_at(5, 5)
+        dst = mesh.node_at(2, 2)
+        assert wf.candidates(src, dst) == (Port.WEST,)
+
+    def test_adaptive_for_east_quadrant(self, wf, mesh):
+        src = mesh.node_at(1, 1)
+        dst = mesh.node_at(5, 5)
+        cands = wf.candidates(src, dst)
+        assert set(cands) == {Port.EAST, Port.NORTH}
+
+    def test_no_west_turns_ever(self, wf, mesh):
+        """A candidate other than the first hop never turns into west after
+        a non-west move: equivalently WEST only appears as a sole candidate."""
+        for src in range(64):
+            for dst in range(64):
+                if src == dst:
+                    continue
+                cands = wf.candidates(src, dst)
+                if Port.WEST in cands:
+                    assert cands == (Port.WEST,)
+
+    @given(st.integers(0, 63), st.integers(0, 63), st.integers(0, 3))
+    def test_all_choices_minimal(self, a, b, choice):
+        mesh = Mesh(8)
+        wf = TestWestFirst._shared_wf(mesh)
+        if a != b:
+            assert walk(wf, mesh, a, b, choose=choice) == mesh.manhattan(a, b)
+
+    _wf_cache = {}
+
+    @classmethod
+    def _shared_wf(cls, mesh):
+        if mesh.k not in cls._wf_cache:
+            cls._wf_cache[mesh.k] = WestFirstRouting(mesh)
+        return cls._wf_cache[mesh.k]
+
+    def test_prefers_longer_dimension(self, wf, mesh):
+        src = mesh.node_at(0, 0)
+        dst = mesh.node_at(1, 5)
+        assert wf.first(src, dst) == Port.NORTH
+
+
+class TestMinimalAdaptive:
+    def test_all_productive_ports_offered(self, adaptive, mesh):
+        src = mesh.node_at(2, 2)
+        dst = mesh.node_at(5, 6)
+        assert set(adaptive.candidates(src, dst)) == {Port.EAST, Port.NORTH}
+
+    def test_west_included_when_productive(self, adaptive, mesh):
+        src = mesh.node_at(5, 5)
+        dst = mesh.node_at(2, 6)
+        assert Port.WEST in adaptive.candidates(src, dst)
+
+    @given(st.integers(0, 63), st.integers(0, 63), st.integers(0, 5))
+    def test_minimality(self, a, b, choice):
+        mesh = Mesh(8)
+        ad = TestMinimalAdaptive._shared(mesh)
+        if a != b:
+            assert walk(ad, mesh, a, b, choose=choice) == mesh.manhattan(a, b)
+
+    _cache = {}
+
+    @classmethod
+    def _shared(cls, mesh):
+        if mesh.k not in cls._cache:
+            cls._cache[mesh.k] = MinimalAdaptiveRouting(mesh)
+        return cls._cache[mesh.k]
+
+
+def channel_dependency_graph(routing, mesh):
+    """Directed graph over channels (node, out_port); an edge c1 -> c2 means
+    some route can hold c1 while waiting for c2."""
+    g = nx.DiGraph()
+    for src in mesh.nodes():
+        for dst in mesh.nodes():
+            if src == dst:
+                continue
+            # Enumerate every (channel, next channel) pair reachable under
+            # the routing function via DFS over candidate choices.
+            frontier = [(src, None)]
+            seen = set()
+            while frontier:
+                cur, in_chan = frontier.pop()
+                if cur == dst:
+                    continue
+                for port in routing.candidates(cur, dst):
+                    if port == Port.LOCAL:
+                        continue
+                    chan = (cur, port)
+                    if in_chan is not None:
+                        g.add_edge(in_chan, chan)
+                    else:
+                        g.add_node(chan)
+                    nxt = mesh.neighbor(cur, port)
+                    key = (nxt, chan)
+                    if key not in seen:
+                        seen.add(key)
+                        frontier.append((nxt, chan))
+    return g
+
+
+class TestDeadlockFreedom:
+    """Dally & Seitz: acyclic channel dependency graph => deadlock-free."""
+
+    def test_dor_cdg_acyclic(self):
+        mesh = Mesh(4)
+        g = channel_dependency_graph(DORRouting(mesh), mesh)
+        assert nx.is_directed_acyclic_graph(g)
+
+    def test_westfirst_cdg_acyclic(self):
+        mesh = Mesh(4)
+        g = channel_dependency_graph(WestFirstRouting(mesh), mesh)
+        assert nx.is_directed_acyclic_graph(g)
+
+    def test_unrestricted_adaptive_cdg_is_cyclic(self):
+        """Control: fully-minimal adaptive routing *does* allow turn cycles
+        (that's why BLESS/SCARAB need deflection/drop, not blocking)."""
+        mesh = Mesh(4)
+        g = channel_dependency_graph(MinimalAdaptiveRouting(mesh), mesh)
+        assert not nx.is_directed_acyclic_graph(g)

@@ -1,0 +1,116 @@
+"""Unit tests for the stats collector and SimResult."""
+
+import pytest
+
+from repro.sim.flit import Flit
+from repro.sim.stats import StatsCollector
+
+
+def _flit(fid=0, pid=0, src=0, dst=1, t0=0, measured=True, num_flits=1, idx=0):
+    return Flit(
+        fid, pid, src, dst, injected_cycle=t0, measured=measured,
+        num_flits=num_flits, flit_index=idx,
+    )
+
+
+class TestCounters:
+    def test_injection_counts(self):
+        s = StatsCollector(4)
+        s.set_window(0, 100)
+        s.record_flit_injection(_flit())
+        s.record_flit_injection(_flit(measured=False))
+        assert s.total_injected_flits == 2
+        assert s.injected_flits == 1
+
+    def test_window_throughput_counts_all_flits(self):
+        """Throughput counts every ejection in the window, measured or not
+        (backlog draining must be visible)."""
+        s = StatsCollector(4)
+        s.set_window(10, 20)
+        s.record_ejection(_flit(measured=False), cycle=15)
+        assert s.ejected_in_window == 1
+        s.record_ejection(_flit(fid=1, pid=1), cycle=25)
+        assert s.ejected_in_window == 1  # outside the window
+
+    def test_latency_only_from_measured(self):
+        s = StatsCollector(4)
+        s.set_window(0, 100)
+        s.record_ejection(_flit(t0=2, measured=False), cycle=10)
+        assert s.flit_latency_sum == 0
+        s.record_ejection(_flit(fid=1, pid=1, t0=2), cycle=10)
+        assert s.flit_latency_sum == 8
+
+    def test_per_node_accounting(self):
+        s = StatsCollector(4)
+        s.set_window(0, 100)
+        s.record_flit_injection(_flit(src=2))
+        s.record_ejection(_flit(dst=3), cycle=1)
+        assert s.per_node_injected[2] == 1
+        assert s.per_node_ejected[3] == 1
+
+
+class TestPacketReassembly:
+    def test_packet_completes_after_all_flits(self):
+        s = StatsCollector(4)
+        s.set_window(0, 100)
+        s.record_packet_injection(7, cycle=0, num_flits=2, measured=True)
+        s.record_ejection(_flit(fid=0, pid=7, num_flits=2, idx=0), cycle=5)
+        assert s.packets_completed == 0
+        s.record_ejection(_flit(fid=1, pid=7, num_flits=2, idx=1), cycle=9)
+        assert s.packets_completed == 1
+        assert s.packet_latencies == [9]
+
+    def test_unknown_packet_ignored(self):
+        s = StatsCollector(4)
+        s.set_window(0, 100)
+        s.record_ejection(_flit(pid=99), cycle=5)  # no matching injection
+        assert s.packets_completed == 0
+
+
+class TestResult:
+    def _collector(self):
+        s = StatsCollector(4)
+        s.set_window(0, 100)
+        return s
+
+    def test_accepted_load_normalisation(self):
+        s = self._collector()
+        s.record_packet_injection(0, 0, 1, True)
+        s.record_ejection(_flit(), cycle=50)
+        r = s.result(
+            design="dxbar_dor",
+            offered_load=0.5,
+            capacity=1.0,
+            cycles=100,
+            final_cycle=100,
+        )
+        assert r.accepted_load == pytest.approx(1 / (4 * 100))
+
+    def test_energy_totals(self):
+        s = self._collector()
+        s.energy_buffer_pj = 1000.0
+        s.energy_link_pj = 500.0
+        r = s.result(
+            design="dxbar_dor", offered_load=0.1, capacity=1.0, cycles=10, final_cycle=10
+        )
+        assert r.total_energy_nj == pytest.approx(1.5)
+
+    def test_energy_per_packet_zero_when_no_packets(self):
+        s = self._collector()
+        r = s.result(
+            design="dxbar_dor", offered_load=0.1, capacity=1.0, cycles=10, final_cycle=10
+        )
+        assert r.energy_per_packet_nj == 0.0
+        assert r.energy_per_flit_pj == 0.0
+
+    def test_extra_dict_preserved(self):
+        s = self._collector()
+        r = s.result(
+            design="dxbar_dor",
+            offered_load=0.1,
+            capacity=1.0,
+            cycles=10,
+            final_cycle=10,
+            extra={"pattern": "UR"},
+        )
+        assert r.extra["pattern"] == "UR"

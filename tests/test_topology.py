@@ -1,0 +1,93 @@
+"""Unit and property tests for repro.sim.topology."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.ports import DIRECTIONS, OPPOSITE, Port
+from repro.sim.topology import Mesh
+
+meshes = st.integers(min_value=2, max_value=10).map(Mesh)
+
+
+class TestConstruction:
+    def test_rejects_tiny_radix(self):
+        with pytest.raises(ValueError):
+            Mesh(1)
+
+    def test_node_count(self):
+        assert Mesh(8).num_nodes == 64
+
+    def test_coords_roundtrip(self, mesh8):
+        for n in mesh8.nodes():
+            x, y = mesh8.coords(n)
+            assert mesh8.node_at(x, y) == n
+
+    def test_node_at_bounds(self, mesh8):
+        with pytest.raises(ValueError):
+            mesh8.node_at(8, 0)
+        with pytest.raises(ValueError):
+            mesh8.node_at(0, -1)
+
+
+class TestNeighbors:
+    def test_corner_has_two_links(self, mesh8):
+        corner = mesh8.node_at(0, 0)
+        assert sorted(mesh8.ports_of(corner)) == sorted([Port.NORTH, Port.EAST])
+
+    def test_center_has_four_links(self, mesh8):
+        center = mesh8.node_at(4, 4)
+        assert len(mesh8.ports_of(center)) == 4
+
+    def test_neighbor_symmetry(self, mesh8):
+        for n in mesh8.nodes():
+            for port in mesh8.ports_of(n):
+                m = mesh8.neighbor(n, port)
+                assert mesh8.neighbor(m, OPPOSITE[port]) == n
+
+    def test_edge_returns_none(self, mesh8):
+        west_edge = mesh8.node_at(0, 3)
+        assert mesh8.neighbor(west_edge, Port.WEST) is None
+
+    def test_edges_are_directed_pairs(self, mesh4):
+        edges = list(mesh4.edges())
+        # 2 * k * (k-1) links per dimension, both directions.
+        assert len(edges) == 2 * 2 * 4 * 3
+        assert len(set(edges)) == len(edges)
+
+
+class TestDistance:
+    def test_manhattan_examples(self, mesh8):
+        assert mesh8.manhattan(0, 0) == 0
+        assert mesh8.manhattan(mesh8.node_at(0, 0), mesh8.node_at(7, 7)) == 14
+
+    @given(meshes, st.data())
+    def test_manhattan_symmetry(self, mesh, data):
+        a = data.draw(st.integers(0, mesh.num_nodes - 1))
+        b = data.draw(st.integers(0, mesh.num_nodes - 1))
+        assert mesh.manhattan(a, b) == mesh.manhattan(b, a)
+
+    @given(meshes, st.data())
+    def test_triangle_inequality(self, mesh, data):
+        a = data.draw(st.integers(0, mesh.num_nodes - 1))
+        b = data.draw(st.integers(0, mesh.num_nodes - 1))
+        c = data.draw(st.integers(0, mesh.num_nodes - 1))
+        assert mesh.manhattan(a, c) <= mesh.manhattan(a, b) + mesh.manhattan(b, c)
+
+    def test_delta_matches_manhattan(self, mesh8):
+        for a in (0, 17, 63):
+            for b in (0, 8, 42):
+                dx, dy = mesh8.delta(a, b)
+                assert abs(dx) + abs(dy) == mesh8.manhattan(a, b)
+
+
+class TestCenter:
+    def test_corner_is_not_center(self, mesh8):
+        assert not mesh8.is_center(0)
+
+    def test_middle_is_center(self, mesh8):
+        assert mesh8.is_center(mesh8.node_at(4, 4))
+
+    def test_center_ring_parameter(self, mesh8):
+        edge_adjacent = mesh8.node_at(1, 1)
+        assert mesh8.is_center(edge_adjacent, ring=1)
+        assert not mesh8.is_center(edge_adjacent, ring=2)

@@ -1,0 +1,80 @@
+"""Tests for the Bernoulli injection workload."""
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.sim.stats import StatsCollector
+from repro.sim.topology import Mesh
+from repro.traffic.generator import BernoulliSynthetic
+from repro.traffic.patterns import make_pattern
+
+
+def _net(**kw):
+    cfg = SimConfig(design="dxbar_dor", k=8, **kw)
+    return Network(cfg, StatsCollector(cfg.num_nodes))
+
+
+class TestBernoulli:
+    def test_rejects_negative_load(self):
+        mesh = Mesh(8)
+        with pytest.raises(ValueError):
+            BernoulliSynthetic(make_pattern("UR", mesh), load=-0.1, packet_size=1, seed=1)
+
+    def test_rejects_bad_packet_size(self):
+        mesh = Mesh(8)
+        with pytest.raises(ValueError):
+            BernoulliSynthetic(make_pattern("UR", mesh), load=0.1, packet_size=0, seed=1)
+
+    def test_zero_load_injects_nothing(self):
+        net = _net()
+        wl = BernoulliSynthetic(make_pattern("UR", net.mesh), 0.0, 1, seed=1)
+        for c in range(50):
+            wl.tick(c, net)
+        assert net.active_flits == 0
+
+    def test_injection_rate_statistics(self):
+        """Measured injection rate within a few percent of the target."""
+        net = _net()
+        net.stats.set_window(0, 10**9)
+        load = 0.3
+        wl = BernoulliSynthetic(make_pattern("UR", net.mesh), load, packet_size=4, seed=5)
+        cycles = 2000
+        for c in range(cycles):
+            wl.tick(c, net)
+        rate = net.stats.total_injected_flits / (64 * cycles)
+        assert rate == pytest.approx(load, rel=0.05)
+
+    def test_inject_until_cuts_off(self):
+        net = _net()
+        wl = BernoulliSynthetic(
+            make_pattern("UR", net.mesh), 0.5, 1, seed=5, inject_until=10
+        )
+        for c in range(100):
+            wl.tick(c, net)
+        before = net.active_flits
+        wl.tick(200, net)
+        assert net.active_flits == before
+
+    def test_fixed_point_sources_do_not_inject(self):
+        """MT diagonal nodes sit out the pattern entirely."""
+        net = _net()
+        net.stats.set_window(0, 10**9)
+        wl = BernoulliSynthetic(make_pattern("MT", net.mesh), 0.9, 1, seed=5)
+        for c in range(300):
+            wl.tick(c, net)
+        diag = [net.mesh.node_at(i, i) for i in range(8)]
+        for node in diag:
+            assert net.stats.per_node_injected[node] == 0
+
+    def test_packet_size_respected(self):
+        net = _net()
+        wl = BernoulliSynthetic(make_pattern("UR", net.mesh), 0.9, packet_size=4, seed=5)
+        wl.tick(0, net)
+        assert net.active_flits % 4 == 0
+
+    def test_open_loop_never_done(self):
+        net = _net()
+        wl = BernoulliSynthetic(make_pattern("UR", net.mesh), 0.1, 1, seed=1)
+        assert not wl.done()
