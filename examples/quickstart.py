@@ -11,9 +11,46 @@ Usage::
     python examples/quickstart.py
 """
 
-from repro import SimConfig, run_simulation
-from repro.analysis import saturation_point, sweep_loads
+from repro import SimConfig, Simulator, TelemetryConfig, run_simulation
+from repro.analysis import render_heatmap, saturation_point, sweep_loads
 from repro.designs import DESIGN_LABELS
+from repro.obs import EV_EJECT, EV_INJECT, lifecycle
+
+
+def observability_demo(base: SimConfig) -> None:
+    """Trace a short DXbar run in-memory and draw an occupancy heatmap."""
+    cfg = base.with_(
+        design="dxbar_dor",
+        offered_load=0.35,
+        warmup_cycles=0,
+        measure_cycles=600,
+        drain_cycles=200,
+        telemetry=TelemetryConfig(trace_buffer=50_000, metrics_interval=25),
+    )
+    sim = Simulator(cfg)
+    sim.run()
+
+    sink = sim.telemetry.trace.sink
+    records = sink.records()
+    chains = lifecycle(records)
+    # The ring keeps the trace tail, so restrict to chains whose inject
+    # record survived: those are complete inject -> ... -> eject stories.
+    complete = [
+        c for c in chains.values()
+        if c[0]["event"] == EV_INJECT and c[-1]["event"] == EV_EJECT
+    ]
+    print(f"traced {sink.total_written} events "
+          f"(last {len(records)} retained, {len(complete)} complete lifecycles)")
+    sample = max(complete, key=len)
+    print(f"longest complete lifecycle (flit {sample[0]['fid']}): "
+          + " -> ".join(r["event"] for r in sample))
+
+    frame = sim.telemetry.metrics.frame()
+    print()
+    print(render_heatmap(
+        frame.heatmap("occupancy", reduce="mean"),
+        title="mean side-buffer occupancy per router (flits)",
+    ))
 
 
 def main() -> None:
@@ -41,6 +78,9 @@ def main() -> None:
         sweep = sweep_loads(design, loads, base=base)
         sat = saturation_point(sweep.loads, sweep.accepted)
         print(f"{DESIGN_LABELS[design]:11s} saturates at offered load ~{sat:.2f}")
+
+    print("\n-- observability: in-memory trace + occupancy heatmap --")
+    observability_demo(base)
 
     print(
         "\nDXbar routes flits in a single SA/ST cycle through its bufferless "

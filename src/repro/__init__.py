@@ -21,19 +21,22 @@ Public surface:
 """
 
 from .designs import DESIGN_LABELS, PAPER_DESIGNS
-from .sim.config import FaultConfig, SimConfig
+from .obs import Telemetry
+from .sim.config import FaultConfig, SimConfig, TelemetryConfig
 from .sim.engine import Simulator, run_simulation
 from .sim.stats import SimResult
 from .sim.topology import Mesh
 from .traffic.patterns import make_pattern, pattern_names
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DESIGN_LABELS",
     "PAPER_DESIGNS",
     "FaultConfig",
     "SimConfig",
+    "TelemetryConfig",
+    "Telemetry",
     "Simulator",
     "run_simulation",
     "SimResult",

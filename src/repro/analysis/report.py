@@ -67,6 +67,50 @@ def render_figure(fig: FigureResult, floatfmt: str = ".3f") -> str:
     return "\n".join(out)
 
 
+def render_heatmap(
+    grid: Sequence[Sequence[float]],
+    title: Optional[str] = None,
+    floatfmt: str = ".1f",
+    annotate: bool = True,
+) -> str:
+    """Render a ``k x k`` per-router grid as an ASCII heatmap.
+
+    Row 0 is mesh row 0 (node ids ``0..k-1``).  Each cell shows a shade
+    block scaled between the grid's min and max plus (when ``annotate``)
+    the numeric value, so an 8x8 buffer-occupancy or deflection map reads
+    at a glance in a terminal; a min/max legend closes the figure.
+    Intended for the frames produced by
+    :meth:`repro.obs.MetricsFrame.heatmap`.
+    """
+    cells = [list(row) for row in grid]
+    if not cells or not cells[0]:
+        return "(empty heatmap)"
+    flat = [v for row in cells for v in row]
+    lo, hi = min(flat), max(flat)
+    span = hi - lo
+    blocks = " .:-=+*#%@"
+
+    def shade(v: float) -> str:
+        if span == 0:
+            return blocks[5] * 2
+        idx = int((v - lo) / span * (len(blocks) - 1))
+        return blocks[idx] * 2
+
+    lines = []
+    if title:
+        lines.append(f"== {title} ==")
+    width = max(len(format(v, floatfmt)) for v in flat) if annotate else 0
+    for row in cells:
+        if annotate:
+            lines.append(
+                " ".join(f"{shade(v)}{format(v, floatfmt).rjust(width)}" for v in row)
+            )
+        else:
+            lines.append("".join(shade(v) for v in row))
+    lines.append(f"min={format(lo, floatfmt)} max={format(hi, floatfmt)}")
+    return "\n".join(lines)
+
+
 def render_sparkline(values: Sequence[float], width: int = 40) -> str:
     """A coarse ASCII sparkline (for quick visual sanity in terminals)."""
     if not values:

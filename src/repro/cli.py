@@ -11,6 +11,8 @@ Run as ``python -m repro <command>``:
 Examples::
 
     python -m repro run --design dxbar_dor --pattern UR --load 0.3
+    python -m repro run --design dxbar_dor --load 0.1 --json
+    python -m repro run --trace events.jsonl --metrics-out metrics.json --profile
     python -m repro sweep --designs dxbar_dor buffered8 --loads 0.1 0.3 0.5
     python -m repro figure fig5 --scale quick
     python -m repro splash --app Ocean --txns 40
@@ -19,6 +21,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -26,7 +29,13 @@ from .analysis.experiments import ALL_EXPERIMENTS, SCALES
 from .analysis.report import render_figure, render_table
 from .analysis.sweep import sweep_designs
 from .designs import DESIGN_LABELS, PAPER_DESIGNS
-from .sim.config import KNOWN_DESIGNS, KNOWN_PATTERNS, FaultConfig, SimConfig
+from .sim.config import (
+    KNOWN_DESIGNS,
+    KNOWN_PATTERNS,
+    FaultConfig,
+    SimConfig,
+    TelemetryConfig,
+)
 from .sim.engine import Simulator, run_simulation
 from .sim.topology import Mesh
 from .traffic.patterns import pattern_names
@@ -47,6 +56,40 @@ def _add_sim_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--faults", type=float, default=0.0, help="crossbar fault percent")
 
 
+def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("telemetry (repro.obs; all off by default)")
+    g.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write flit-lifecycle events to FILE as JSONL",
+    )
+    g.add_argument(
+        "--metrics-interval", type=int, default=0, metavar="N",
+        help="sample per-router metrics every N cycles (0 = off)",
+    )
+    g.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="write the sampled metrics frame to FILE as JSON "
+             "(defaults --metrics-interval to 100 when omitted)",
+    )
+    g.add_argument(
+        "--profile", action="store_true",
+        help="wall-clock-profile workload.tick / network.step / stats phases",
+    )
+
+
+def _telemetry_from(args) -> TelemetryConfig:
+    interval = getattr(args, "metrics_interval", 0)
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out and not interval:
+        interval = 100
+    return TelemetryConfig(
+        trace_path=getattr(args, "trace", None),
+        metrics_interval=interval,
+        metrics_path=metrics_out,
+        profile=getattr(args, "profile", False),
+    )
+
+
 def _config_from(args) -> SimConfig:
     return SimConfig(
         design=args.design,
@@ -59,11 +102,15 @@ def _config_from(args) -> SimConfig:
         seed=args.seed,
         packet_size=args.packet_size,
         faults=FaultConfig(percent=args.faults),
+        telemetry=_telemetry_from(args),
     )
 
 
 def cmd_run(args) -> int:
     result = run_simulation(_config_from(args))
+    if args.json:
+        print(result.to_json())
+        return 0
     rows = [
         ["accepted load", f"{result.accepted_load:.4f}"],
         ["avg flit latency (cycles)", f"{result.avg_flit_latency:.2f}"],
@@ -78,12 +125,30 @@ def cmd_run(args) -> int:
     ]
     print(f"{DESIGN_LABELS[args.design]} | {args.pattern} @ {args.load}")
     print(render_table(["metric", "value"], rows))
+    profile = result.extra.get("profile")
+    if profile:
+        prows = [
+            [phase, f"{d['seconds']:.3f}", d["calls"], f"{d['share']:.1%}"]
+            for phase, d in profile.items()
+        ]
+        print("\nprofile")
+        print(render_table(["phase", "seconds", "calls", "share"], prows))
     return 0
 
 
 def cmd_sweep(args) -> int:
     base = _config_from(args)
     out = sweep_designs(args.designs, args.loads, base=base)
+    if args.json:
+        payload = {
+            "loads": list(args.loads),
+            "designs": list(args.designs),
+            "results": {
+                d: [r.to_dict() for r in out[d].results] for d in args.designs
+            },
+        }
+        print(json.dumps(payload))
+        return 0
     headers = ["offered"] + [DESIGN_LABELS[d] for d in args.designs]
     acc_rows, lat_rows, e_rows = [], [], []
     for i, load in enumerate(args.loads):
@@ -168,6 +233,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("run", help="run one simulation")
     _add_sim_args(p)
+    _add_telemetry_args(p)
+    p.add_argument("--json", action="store_true",
+                   help="print the SimResult as one JSON object")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("sweep", help="offered-load sweep")
@@ -175,6 +243,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--designs", nargs="+", default=["dxbar_dor", "buffered4"],
                    choices=KNOWN_DESIGNS)
     p.add_argument("--loads", nargs="+", type=float, default=[0.1, 0.3, 0.5])
+    p.add_argument("--json", action="store_true",
+                   help="print all SimResults as one JSON object")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("figure", help="regenerate a paper table/figure")

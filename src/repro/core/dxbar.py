@@ -40,6 +40,16 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from ..obs.trace import (
+    EV_ARB_LOSE,
+    EV_ARB_WIN,
+    EV_BUFFER,
+    EV_DEFLECT,
+    EV_FAIRNESS_FLIP,
+    EV_FAULT_RECONFIG,
+    EV_TRAVERSE_PRIMARY,
+    EV_TRAVERSE_SECONDARY,
+)
 from ..routers.base import BaseRouter
 from ..sim.flit import Flit
 from ..sim.ports import Port
@@ -69,6 +79,14 @@ class DXbarRouter(BaseRouter):
         # candidates (the paper: packets "try to adapt to the topology").
         self._escalate_on_deflections = config.faults.granularity == "crosspoint"
 
+    def enable_trace(self, tracer) -> None:
+        """Wire the tracer, including the fairness counter's flip hook
+        (the flip record is emitted from :mod:`repro.core.fairness` at the
+        moment the flip is applied)."""
+        super().enable_trace(tracer)
+        self.fairness.on_flip = lambda flips: tracer.emit(
+            self._current_cycle, EV_FAIRNESS_FLIP, self.node, flips=flips
+        )
 
     # ------------------------------------------------------------------
     def step(self, cycle: int) -> None:
@@ -81,7 +99,12 @@ class DXbarRouter(BaseRouter):
             and fault.detected(cycle)
         ):
             self.reconfigured = True
+            self.counters.fault_reconfigs += 1
             self.stats.fault_reconfigurations += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    cycle, EV_FAULT_RECONFIG, self.node, **fault.as_event()
+                )
         if self.reconfigured:
             self._step_degraded(cycle)
             return
@@ -153,13 +176,21 @@ class DXbarRouter(BaseRouter):
                 continue
             outputs_used.add(cand)
             flit.deflections += 1
+            self.counters.deflections += 1
             self.energy.charge_xbar(flit)
+            if self.trace is not None:
+                self.trace.emit(cycle, EV_DEFLECT, self.node, flit, out_port=cand.name)
             self.send(flit, cand, cycle)
             return
         if fallback is not None:
             outputs_used.add(fallback)
             flit.deflections += 1
+            self.counters.deflections += 1
             self.energy.charge_xbar(flit)
+            if self.trace is not None:
+                self.trace.emit(
+                    cycle, EV_DEFLECT, self.node, flit, out_port=fallback.name, uturn=True
+                )
             self.send(flit, fallback, cycle)
             return
         raise AssertionError(
@@ -229,6 +260,17 @@ class DXbarRouter(BaseRouter):
                 self.mark_network_entry(flit, cycle)
             if xbar_charge:
                 self.energy.charge_xbar(flit)
+            self.counters.secondary_traversals += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    cycle,
+                    EV_TRAVERSE_SECONDARY,
+                    self.node,
+                    flit,
+                    in_port=in_port.name,
+                    out_port=out.name,
+                    kind=kind,
+                )
             self.send(flit, out, cycle)
             won = True
         return won
@@ -252,13 +294,48 @@ class DXbarRouter(BaseRouter):
             if out is not None:
                 outputs_used.add(out)
                 self.energy.charge_xbar(flit)
+                self.counters.primary_traversals += 1
+                if self.trace is not None:
+                    self.trace.emit(
+                        cycle, EV_ARB_WIN, self.node, flit, in_port=in_port.name
+                    )
+                    self.trace.emit(
+                        cycle,
+                        EV_TRAVERSE_PRIMARY,
+                        self.node,
+                        flit,
+                        in_port=in_port.name,
+                        out_port=out.name,
+                    )
                 self.send(flit, out, cycle)
                 won = True
             elif not self.fifos[in_port].full:
                 flit.buffered_events += 1
+                self.counters.buffered_events += 1
                 self.energy.charge_buffer(flit)
                 self.fifos[in_port].push(flit)
+                if self.trace is not None:
+                    self.trace.emit(
+                        cycle, EV_ARB_LOSE, self.node, flit, in_port=in_port.name
+                    )
+                    self.trace.emit(
+                        cycle,
+                        EV_BUFFER,
+                        self.node,
+                        flit,
+                        in_port=in_port.name,
+                        occupancy=len(self.fifos[in_port]),
+                    )
             elif primary_ok:
+                if self.trace is not None:
+                    self.trace.emit(
+                        cycle,
+                        EV_ARB_LOSE,
+                        self.node,
+                        flit,
+                        in_port=in_port.name,
+                        fifo_full=True,
+                    )
                 self._deflect(flit, outputs_used, cycle, in_port)
                 won = True
             else:
@@ -267,8 +344,19 @@ class DXbarRouter(BaseRouter):
                 # input latch holding; modelled as a one-slot overfill that
                 # the degraded mode drains after detection.
                 flit.buffered_events += 1
+                self.counters.buffered_events += 1
                 self.energy.charge_buffer(flit)
                 self.fifos[in_port].force_push(flit)
+                if self.trace is not None:
+                    self.trace.emit(
+                        cycle,
+                        EV_BUFFER,
+                        self.node,
+                        flit,
+                        in_port=in_port.name,
+                        occupancy=len(self.fifos[in_port]),
+                        overfill=True,
+                    )
         return won
 
     def _split_must_place(
@@ -301,6 +389,7 @@ class DXbarRouter(BaseRouter):
             waiter_won = self._serve_waiters(waiters, outputs_used, cycle)
             incoming_won |= self._serve_incoming(rest, outputs_used, cycle, primary_ok)
             self.fairness.note_flip()
+            self.counters.fairness_flips += 1
             self.stats.fairness_flips += 1
         else:
             incoming_won = self._serve_incoming(incoming, outputs_used, cycle, primary_ok)
@@ -327,12 +416,33 @@ class DXbarRouter(BaseRouter):
             else:
                 outputs_used.add(out)
                 self.energy.charge_xbar(flit)
+                self.counters.secondary_traversals += 1
+                if self.trace is not None:
+                    self.trace.emit(
+                        cycle,
+                        EV_TRAVERSE_SECONDARY,
+                        self.node,
+                        flit,
+                        in_port=in_port.name,
+                        out_port=out.name,
+                        kind="degraded",
+                    )
                 self.send(flit, out, cycle)
         self._serve_waiters(waiters, outputs_used, cycle)
         for in_port, flit in rest:
             flit.buffered_events += 1
+            self.counters.buffered_events += 1
             self.energy.charge_buffer(flit)
             self.fifos[in_port].push(flit)
+            if self.trace is not None:
+                self.trace.emit(
+                    cycle,
+                    EV_BUFFER,
+                    self.node,
+                    flit,
+                    in_port=in_port.name,
+                    occupancy=len(self.fifos[in_port]),
+                )
 
     @property
     def _any_buffered(self) -> bool:

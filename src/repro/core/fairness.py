@@ -16,14 +16,18 @@ from __future__ import annotations
 class FairnessCounter:
     """Consecutive-primary-win counter with a flip threshold."""
 
-    __slots__ = ("threshold", "count", "flips")
+    __slots__ = ("threshold", "count", "flips", "on_flip")
 
-    def __init__(self, threshold: int) -> None:
+    def __init__(self, threshold: int, on_flip=None) -> None:
         if threshold < 1:
             raise ValueError("fairness threshold must be >= 1")
         self.threshold = threshold
         self.count = 0
         self.flips = 0
+        # Observability hook: called with the cumulative flip count each
+        # time a flip is applied (routers wire it to the lifecycle tracer;
+        # None — the default — costs one branch per flip, not per cycle).
+        self.on_flip = on_flip
 
     def should_flip(self) -> bool:
         """True when the next arbitration must serve waiters first."""
@@ -46,3 +50,5 @@ class FairnessCounter:
         """Record that a flip was applied and rearm the counter."""
         self.flips += 1
         self.count = 0
+        if self.on_flip is not None:
+            self.on_flip(self.flips)

@@ -95,6 +95,19 @@ class RouterFault:
         crosspoint."""
         return self.blocks(crossbar, in_port, out_port, cycle) and self.detected(cycle)
 
+    def as_event(self) -> dict:
+        """JSON-serialisable payload for ``fault_reconfig`` trace records."""
+        return {
+            "crossbar": self.crossbar,
+            "granularity": CROSSPOINT if self.is_crosspoint else CROSSBAR,
+            "manifest_cycle": self.manifest_cycle,
+            "detected_cycle": self.detected_cycle,
+            "input_port": self.input_port.name if self.input_port is not None else None,
+            "output_port": (
+                self.output_port.name if self.output_port is not None else None
+            ),
+        }
+
 
 class FaultPlan:
     """Deterministic assignment of faults to routers.

@@ -25,6 +25,14 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from ..obs.trace import (
+    EV_ARB_LOSE,
+    EV_ARB_WIN,
+    EV_BUFFER,
+    EV_DEFLECT,
+    EV_TRAVERSE_PRIMARY,
+    EV_TRAVERSE_SECONDARY,
+)
 from ..sim.flit import Flit
 from ..sim.ports import Port
 from .allocator import Request, SeparableDualAllocator
@@ -46,8 +54,19 @@ class UnifiedRouter(DXbarRouter):
         if not (primary_ok and secondary_ok):
             for in_port, flit in self.incoming:
                 flit.buffered_events += 1
+                self.counters.buffered_events += 1
                 self.energy.charge_buffer(flit)
                 self.fifos[in_port].force_push(flit)
+                if self.trace is not None:
+                    self.trace.emit(
+                        cycle,
+                        EV_BUFFER,
+                        self.node,
+                        flit,
+                        in_port=in_port.name,
+                        occupancy=len(self.fifos[in_port]),
+                        overfill=True,
+                    )
             return
 
         if not self.incoming and not self.inj_queue and not self._any_buffered:
@@ -89,18 +108,36 @@ class UnifiedRouter(DXbarRouter):
         self.stats.allocator_swaps += swaps
         if flip:
             self.fairness.note_flip()
+            self.counters.fairness_flips += 1
             self.stats.fairness_flips += 1
 
         granted_ids = set()
         waiter_won = False
+        trace = self.trace
         for grant in grants:
             req, out = grant.request, grant.output
             flit = req.flit
             granted_ids.add(id(flit))
             if out not in self.routing.candidates(self.node, flit.dst):
                 flit.deflections += 1  # crosspoint-forced misroute
+                self.counters.deflections += 1
+                if trace is not None:
+                    trace.emit(cycle, EV_DEFLECT, self.node, flit, out_port=out.name)
             if req.lane == BUFFERLESS:
                 incoming_won = True
+                self.counters.primary_traversals += 1
+                if trace is not None:
+                    trace.emit(
+                        cycle, EV_ARB_WIN, self.node, flit, in_port=Port(req.input_index).name
+                    )
+                    trace.emit(
+                        cycle,
+                        EV_TRAVERSE_PRIMARY,
+                        self.node,
+                        flit,
+                        in_port=Port(req.input_index).name,
+                        out_port=out.name,
+                    )
             else:
                 kind, in_port = waiter_src[id(flit)]
                 if kind == "fifo":
@@ -110,6 +147,17 @@ class UnifiedRouter(DXbarRouter):
                     self.inj_queue.popleft()
                     self.mark_network_entry(flit, cycle)
                 waiter_won = True
+                self.counters.secondary_traversals += 1
+                if trace is not None:
+                    trace.emit(
+                        cycle,
+                        EV_TRAVERSE_SECONDARY,
+                        self.node,
+                        flit,
+                        in_port=in_port.name,
+                        out_port=out.name,
+                        kind=kind,
+                    )
             outputs_used.add(out)
             self.energy.charge_xbar(flit)
             self.send(flit, out, cycle)
@@ -119,8 +167,21 @@ class UnifiedRouter(DXbarRouter):
         for in_port, flit in rest:
             if id(flit) not in granted_ids:
                 flit.buffered_events += 1
+                self.counters.buffered_events += 1
                 self.energy.charge_buffer(flit)
                 self.fifos[in_port].push(flit)
+                if trace is not None:
+                    trace.emit(
+                        cycle, EV_ARB_LOSE, self.node, flit, in_port=in_port.name
+                    )
+                    trace.emit(
+                        cycle,
+                        EV_BUFFER,
+                        self.node,
+                        flit,
+                        in_port=in_port.name,
+                        occupancy=len(self.fifos[in_port]),
+                    )
 
         self.fairness.update(
             waiters_present=bool(waiters),

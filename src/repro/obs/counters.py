@@ -1,0 +1,61 @@
+"""Per-router monotonic event counters.
+
+Every router owns one :class:`RouterCounters` instance and increments it at
+the same sites that mutate the per-flit statistics (``flit.deflections``,
+``flit.buffered_events``, ...).  The slots are the union across all router
+designs — a counter a design never touches simply stays zero — so
+``BaseRouter.telemetry_counters()`` returns the same keys for every design
+and the engine / interval-metrics layers can merge them uniformly.
+
+Because the per-flit statistics are folded into :class:`StatsCollector`
+only when a *measured* flit ejects, the router-counter totals equal the
+collector's aggregates exactly when every injected flit is measured and
+delivered (warmup 0, full drain) — the regime the round-trip test uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+#: Snapshot key order (stable across designs and sessions).
+COUNTER_FIELDS = (
+    "injected",
+    "ejected",
+    "entries",
+    "primary_traversals",
+    "secondary_traversals",
+    "deflections",
+    "buffered_events",
+    "fairness_flips",
+    "fault_reconfigs",
+    "drops",
+    "retransmits",
+    "mode_switches",
+)
+
+
+class RouterCounters:
+    """Mutable counter block; one integer add per event on the hot path."""
+
+    __slots__ = COUNTER_FIELDS
+
+    def __init__(self) -> None:
+        for name in COUNTER_FIELDS:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Freeze the current values into a plain dict."""
+        return {name: getattr(self, name) for name in COUNTER_FIELDS}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        nonzero = {k: v for k, v in self.snapshot().items() if v}
+        return f"RouterCounters({nonzero})"
+
+
+def merge_counters(dicts: Iterable[Dict[str, int]]) -> Dict[str, int]:
+    """Sum a sequence of counter dicts key-wise (the engine's merge)."""
+    totals: Dict[str, int] = {}
+    for d in dicts:
+        for key, value in d.items():
+            totals[key] = totals.get(key, 0) + value
+    return totals

@@ -1,0 +1,84 @@
+"""The :class:`Telemetry` facade the engine and network thread through.
+
+One object bundles the three observability layers; each is ``None`` when
+disabled, which is the default — a run built from a default
+:class:`~repro.sim.config.SimConfig` constructs the shared disabled
+instance and the simulation behaves exactly as before (the routers see
+``trace is None`` and skip every emission).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .metrics import IntervalMetrics
+from .profile import PhaseProfiler
+from .trace import JsonlSink, RingBufferSink, Tracer
+
+
+class Telemetry:
+    """Bundle of tracer + interval metrics + profiler (each optional)."""
+
+    __slots__ = ("trace", "metrics", "profiler", "metrics_path", "_finished")
+
+    def __init__(
+        self,
+        trace: Optional[Tracer] = None,
+        metrics: Optional[IntervalMetrics] = None,
+        profiler: Optional[PhaseProfiler] = None,
+        metrics_path: Optional[str] = None,
+    ) -> None:
+        self.trace = trace
+        self.metrics = metrics
+        self.profiler = profiler
+        self.metrics_path = metrics_path
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        return cls()
+
+    @classmethod
+    def from_config(cls, tcfg, k: int) -> "Telemetry":
+        """Build from a :class:`~repro.sim.config.TelemetryConfig`."""
+        trace = None
+        if tcfg.trace_path:
+            trace = Tracer(JsonlSink(tcfg.trace_path))
+        elif tcfg.trace_buffer:
+            trace = Tracer(RingBufferSink(tcfg.trace_buffer))
+        metrics = (
+            IntervalMetrics(tcfg.metrics_interval, k)
+            if tcfg.metrics_interval > 0
+            else None
+        )
+        profiler = PhaseProfiler() if tcfg.profile else None
+        return cls(
+            trace=trace,
+            metrics=metrics,
+            profiler=profiler,
+            metrics_path=tcfg.metrics_path,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return (
+            self.trace is not None
+            or self.metrics is not None
+            or self.profiler is not None
+        )
+
+    def finish(self, network, final_cycle: int) -> None:
+        """End-of-run hook: flush the trailing metrics interval, persist
+        the metrics frame if a path was configured, close the trace sink.
+        Idempotent, so callers may invoke it defensively."""
+        if self._finished:
+            return
+        self._finished = True
+        if self.metrics is not None:
+            self.metrics.finalize(network, final_cycle)
+            if self.metrics_path:
+                self.metrics.save(self.metrics_path)
+        if self.trace is not None:
+            self.trace.close()

@@ -1,0 +1,202 @@
+"""Per-router interval metrics.
+
+An :class:`IntervalMetrics` collector samples every router each ``interval``
+cycles into a columnar frame: one row per (sample cycle, router).  Counter
+columns store the *delta* since the previous sample, so summing a counter
+column over all rows reproduces the end-of-run total — that is the
+round-trip property the acceptance test checks against
+:class:`~repro.sim.stats.StatsCollector`.  Gauge columns (``occupancy``,
+``source_queue``, ``link_util``) store the instantaneous value.
+
+The frame serialises to a single JSON object and reloads through
+:func:`load_metrics`, from which heatmaps and per-router time series fall
+out directly (see :meth:`MetricsFrame.heatmap` and
+:meth:`MetricsFrame.router_series`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from .counters import COUNTER_FIELDS
+
+#: Gauge columns sampled instantaneously (not deltas).
+GAUGE_FIELDS = ("occupancy", "source_queue", "link_util")
+
+#: Row-identity columns.
+INDEX_FIELDS = ("cycle", "node")
+
+SCHEMA_VERSION = 1
+
+
+class MetricsFrame:
+    """An immutable columnar view over sampled interval metrics."""
+
+    def __init__(self, interval: int, k: int, columns: Dict[str, list]) -> None:
+        self.interval = interval
+        self.k = k
+        self.num_nodes = k * k
+        self.columns = columns
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged metrics columns: {lengths}")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return len(self.columns["cycle"]) if self.columns else 0
+
+    def column(self, name: str) -> list:
+        return self.columns[name]
+
+    def total(self, name: str):
+        """Sum of a column over every row (counter columns: run total)."""
+        return sum(self.columns[name])
+
+    def per_router_totals(self, name: str) -> List[float]:
+        """Column totals split by router, indexed by node id."""
+        out = [0] * self.num_nodes
+        nodes = self.columns["node"]
+        vals = self.columns[name]
+        for node, v in zip(nodes, vals):
+            out[node] += v
+        return out
+
+    def router_series(self, node: int, name: str) -> List[float]:
+        """The time series of one column at one router."""
+        return [
+            v
+            for n, v in zip(self.columns["node"], self.columns[name])
+            if n == node
+        ]
+
+    def sample_cycles(self) -> List[int]:
+        """The distinct sample cycles, in order."""
+        seen = []
+        last = None
+        for c in self.columns["cycle"]:
+            if c != last:
+                seen.append(c)
+                last = c
+        return seen
+
+    def heatmap(self, name: str, reduce: str = "sum") -> List[List[float]]:
+        """A ``k x k`` grid of per-router reductions of one column.
+
+        ``reduce`` is ``sum`` (counter totals), ``mean`` (time-averaged
+        gauges such as buffer occupancy), ``max`` or ``last``.
+        """
+        totals = self.per_router_totals(name)
+        if reduce == "sum":
+            cells = totals
+        elif reduce == "mean":
+            counts = [0] * self.num_nodes
+            for n in self.columns["node"]:
+                counts[n] += 1
+            cells = [t / c if c else 0.0 for t, c in zip(totals, counts)]
+        elif reduce == "max":
+            cells = [0] * self.num_nodes
+            for n, v in zip(self.columns["node"], self.columns[name]):
+                if v > cells[n]:
+                    cells[n] = v
+        elif reduce == "last":
+            cells = [0] * self.num_nodes
+            for n, v in zip(self.columns["node"], self.columns[name]):
+                cells[n] = v
+        else:
+            raise ValueError(f"unknown reduce {reduce!r}")
+        k = self.k
+        return [cells[row * k : (row + 1) * k] for row in range(k)]
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "interval": self.interval,
+            "k": self.k,
+            "columns": self.columns,
+        }
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_json(), fh)
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "MetricsFrame":
+        version = payload.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(f"unsupported metrics schema version {version!r}")
+        return cls(payload["interval"], payload["k"], payload["columns"])
+
+
+def load_metrics(path: str) -> MetricsFrame:
+    """Reload a frame written by ``--metrics-out`` / :meth:`MetricsFrame.save`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return MetricsFrame.from_json(json.load(fh))
+
+
+class IntervalMetrics:
+    """Collects samples during a run; :meth:`frame` freezes them."""
+
+    def __init__(self, interval: int, k: int) -> None:
+        if interval < 1:
+            raise ValueError("metrics interval must be >= 1")
+        self.interval = interval
+        self.k = k
+        self.num_nodes = k * k
+        self.columns: Dict[str, list] = {
+            name: [] for name in INDEX_FIELDS + GAUGE_FIELDS + COUNTER_FIELDS
+        }
+        # Previous snapshot per router, for delta columns.
+        self._last: Optional[List[Dict[str, int]]] = None
+        self._last_cycle = -1
+
+    # ------------------------------------------------------------------
+    def sample(self, network, cycle: int) -> None:
+        """Record one row per router covering ``(previous sample, cycle]``."""
+        if cycle == self._last_cycle:
+            return
+        cols = self.columns
+        last = self._last
+        snaps = []
+        for node, router in enumerate(network.routers):
+            snap = router.telemetry_counters()
+            snaps.append(snap)
+            cols["cycle"].append(cycle)
+            cols["node"].append(node)
+            cols["occupancy"].append(router.occupancy())
+            cols["source_queue"].append(router.source_queue_len)
+            cols["link_util"].append(self._link_util(router))
+            prev = last[node] if last is not None else None
+            for name in COUNTER_FIELDS:
+                value = snap[name]
+                if prev is not None:
+                    value -= prev[name]
+                cols[name].append(value)
+        self._last = snaps
+        self._last_cycle = cycle
+
+    @staticmethod
+    def _link_util(router) -> float:
+        """Occupied fraction of the router's outgoing link pipelines."""
+        links = router.out_links
+        if not links:
+            return 0.0
+        slots = 0
+        used = 0
+        for link in links.values():
+            slots += link.latency
+            used += link.in_flight()
+        return used / slots if slots else 0.0
+
+    def finalize(self, network, cycle: int) -> None:
+        """Flush the trailing partial interval so delta sums equal totals."""
+        self.sample(network, cycle)
+
+    # ------------------------------------------------------------------
+    def frame(self) -> MetricsFrame:
+        return MetricsFrame(self.interval, self.k, self.columns)
+
+    def save(self, path: str) -> None:
+        self.frame().save(path)

@@ -1,0 +1,163 @@
+"""Flit-lifecycle event tracing.
+
+A :class:`Tracer` turns router events into flat dict records and hands them
+to a sink.  The default simulation runs with *no* tracer at all
+(``router.trace is None``), so the hot loop pays exactly one attribute load
+and branch per potential event; sinks only exist once tracing is enabled.
+
+Record schema (all records)::
+
+    {"cycle": int, "event": str, "node": int}
+
+Flit-carrying events add ``fid``/``pid``/``src``/``dst``; event-specific
+fields (``in_port``, ``out_port``, ``crossbar``, ...) ride along as extra
+keys.  Ports are serialised by name (``"NORTH"``) so JSONL traces are
+self-describing.  See ``docs/observability.md`` for the per-event fields.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional
+
+#: Event names, in rough lifecycle order.
+EV_INJECT = "inject"  # packet flit entered the PE source queue
+EV_ROUTE = "route"  # flit left the source queue into the network
+EV_ARB_WIN = "arb_win"  # incoming flit won switch arbitration
+EV_ARB_LOSE = "arb_lose"  # incoming flit lost (will buffer or deflect)
+EV_BUFFER = "buffer"  # flit written into an input FIFO
+EV_TRAVERSE_PRIMARY = "traverse_primary"  # crossed the bufferless crossbar
+EV_TRAVERSE_SECONDARY = "traverse_secondary"  # crossed the buffered crossbar
+EV_DEFLECT = "deflect"  # pushed out a non-productive port
+EV_DROP = "drop"  # SCARAB drop (NACK fired)
+EV_RETRANSMIT = "retransmit"  # SCARAB source re-injection
+EV_FAIRNESS_FLIP = "fairness_flip"  # priority flipped to the waiters
+EV_FAULT_RECONFIG = "fault_reconfig"  # router degraded to buffered mode
+EV_MODE_SWITCH = "mode_switch"  # AFC bufferless<->buffered transition
+EV_EJECT = "eject"  # flit delivered to the destination PE
+
+EVENTS = (
+    EV_INJECT,
+    EV_ROUTE,
+    EV_ARB_WIN,
+    EV_ARB_LOSE,
+    EV_BUFFER,
+    EV_TRAVERSE_PRIMARY,
+    EV_TRAVERSE_SECONDARY,
+    EV_DEFLECT,
+    EV_DROP,
+    EV_RETRANSMIT,
+    EV_FAIRNESS_FLIP,
+    EV_FAULT_RECONFIG,
+    EV_MODE_SWITCH,
+    EV_EJECT,
+)
+
+
+class NullSink:
+    """Swallows every record (useful as an explicit no-op stand-in)."""
+
+    def write(self, record: dict) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class RingBufferSink:
+    """Keeps the last ``capacity`` records in memory.
+
+    The sink of choice for programmatic use and for always-on flight
+    recording: bounded memory, zero I/O, and :meth:`records` hands the
+    retained tail back for inspection.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError("ring buffer capacity must be >= 1")
+        self.capacity = capacity
+        self._buf: deque = deque(maxlen=capacity)
+        self.total_written = 0
+
+    def write(self, record: dict) -> None:
+        self.total_written += 1
+        self._buf.append(record)
+
+    def records(self) -> List[dict]:
+        return list(self._buf)
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+
+class JsonlSink:
+    """Appends one compact JSON object per record to a file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh = open(path, "w", encoding="utf-8")
+        self._dumps = json.dumps
+
+    def write(self, record: dict) -> None:
+        self._fh.write(self._dumps(record, separators=(",", ":")))
+        self._fh.write("\n")
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+class Tracer:
+    """Shapes events into records and forwards them to the sink."""
+
+    __slots__ = ("sink", "emitted")
+
+    def __init__(self, sink) -> None:
+        self.sink = sink
+        self.emitted = 0
+
+    def emit(self, cycle: int, event: str, node: int, flit=None, **fields) -> None:
+        record = {"cycle": cycle, "event": event, "node": node}
+        if flit is not None:
+            record["fid"] = flit.fid
+            record["pid"] = flit.packet_id
+            record["src"] = flit.src
+            record["dst"] = flit.dst
+        if fields:
+            record.update(fields)
+        self.emitted += 1
+        self.sink.write(record)
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+# ----------------------------------------------------------------------
+# trace readers (tests, notebooks, docs examples)
+# ----------------------------------------------------------------------
+def read_trace(path: str) -> Iterator[dict]:
+    """Yield the records of a JSONL trace file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def lifecycle(records: Iterable[dict]) -> Dict[int, List[dict]]:
+    """Group flit-carrying records by flit id, preserving emission order.
+
+    The per-flit lists are the inject -> ... -> eject chains the trace
+    acceptance test asserts over; records without a ``fid`` (fairness
+    flips, fault reconfigurations, mode switches) are skipped.
+    """
+    chains: Dict[int, List[dict]] = {}
+    for rec in records:
+        fid: Optional[int] = rec.get("fid")
+        if fid is not None:
+            chains.setdefault(fid, []).append(rec)
+    return chains

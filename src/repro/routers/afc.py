@@ -29,6 +29,7 @@ from typing import List, Optional, Tuple
 
 from ..core.arbiters import oldest_first
 from ..core.buffers import FlitFIFO
+from ..obs.trace import EV_BUFFER, EV_DEFLECT, EV_MODE_SWITCH
 from ..sim.flit import Flit
 from ..sim.ports import Port
 from .base import BaseRouter
@@ -71,15 +72,21 @@ class AFCRouter(BaseRouter):
         if self.mode == BUFFERLESS_MODE:
             if self._window_deflections >= DEFLECT_HI:
                 self.mode = BUFFERED_MODE
-                self.mode_switches += 1
+                self._note_mode_switch(cycle)
         else:
             # Return to bufferless only once traffic is light and the
             # buffers have drained (the AFC drain protocol).
             if self._window_incoming <= TRAFFIC_LO and self.occupancy() == 0:
                 self.mode = BUFFERLESS_MODE
-                self.mode_switches += 1
+                self._note_mode_switch(cycle)
         self._window_deflections = 0
         self._window_incoming = 0
+
+    def _note_mode_switch(self, cycle: int) -> None:
+        self.mode_switches += 1
+        self.counters.mode_switches += 1
+        if self.trace is not None:
+            self.trace.emit(cycle, EV_MODE_SWITCH, self.node, mode=self.mode)
 
     # ------------------------------------------------------------------
     def step(self, cycle: int) -> None:
@@ -121,7 +128,12 @@ class AFCRouter(BaseRouter):
             if port is None:
                 port = free[0]
                 flit.deflections += 1
+                self.counters.deflections += 1
                 self._window_deflections += 1
+                if self.trace is not None:
+                    self.trace.emit(
+                        cycle, EV_DEFLECT, self.node, flit, out_port=port.name
+                    )
             free.remove(port)
             self.energy.charge_xbar(flit)
             self.send(flit, port, cycle)
@@ -153,7 +165,12 @@ class AFCRouter(BaseRouter):
                     if cand not in outputs_used and cand != in_port:
                         out = cand
                         flit.deflections += 1
+                        self.counters.deflections += 1
                         self._window_deflections += 1
+                        if self.trace is not None:
+                            self.trace.emit(
+                                cycle, EV_DEFLECT, self.node, flit, out_port=out.name
+                            )
                         break
             if out is None:
                 # Last resort: any free link port (a u-turn). One always
@@ -161,7 +178,12 @@ class AFCRouter(BaseRouter):
                 # there are at least as many link ports as arrivals.
                 out = next(p for p in self._link_ports if p not in outputs_used)
                 flit.deflections += 1
+                self.counters.deflections += 1
                 self._window_deflections += 1
+                if self.trace is not None:
+                    self.trace.emit(
+                        cycle, EV_DEFLECT, self.node, flit, out_port=out.name, uturn=True
+                    )
             outputs_used.add(out)
             self.energy.charge_xbar(flit)
             self.send(flit, out, cycle)
@@ -194,8 +216,18 @@ class AFCRouter(BaseRouter):
 
         for in_port, flit in rest:
             flit.buffered_events += 1
+            self.counters.buffered_events += 1
             self.energy.charge_buffer(flit)
             self.fifos[in_port].push(flit)
+            if self.trace is not None:
+                self.trace.emit(
+                    cycle,
+                    EV_BUFFER,
+                    self.node,
+                    flit,
+                    in_port=in_port.name,
+                    occupancy=len(self.fifos[in_port]),
+                )
 
     # ------------------------------------------------------------------
     def occupancy(self) -> int:

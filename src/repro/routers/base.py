@@ -20,6 +20,8 @@ from collections import deque
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ..energy.model import EnergyModel
+from ..obs.counters import RouterCounters
+from ..obs.trace import EV_EJECT, EV_INJECT, EV_ROUTE
 from ..routing.base import RoutingFunction
 from ..sim.config import SimConfig
 from ..sim.flit import Flit
@@ -69,6 +71,12 @@ class BaseRouter(ABC):
         # Flits latched from the links this cycle: (arrival port, flit).
         self.incoming: List[Tuple[Port, Flit]] = []
 
+        # Observability: lifecycle tracer (None unless tracing is enabled,
+        # so the hot path pays one branch) and the always-on per-router
+        # event counters the engine and interval metrics aggregate.
+        self.trace = None
+        self.counters = RouterCounters()
+
     # ------------------------------------------------------------------
     # wiring hooks (called by Network)
     # ------------------------------------------------------------------
@@ -86,6 +94,10 @@ class BaseRouter(ABC):
 
     def finalize_wiring(self) -> None:
         """Called once after all links/credits are attached."""
+
+    def enable_trace(self, tracer) -> None:
+        """Attach a lifecycle tracer (subclasses hook sub-components)."""
+        self.trace = tracer
 
     # ------------------------------------------------------------------
     # per-cycle protocol
@@ -114,7 +126,10 @@ class BaseRouter(ABC):
     def enqueue_flit(self, flit: Flit) -> None:
         """Append a flit to the PE source queue."""
         self.inj_queue.append(flit)
+        self.counters.injected += 1
         self.stats.record_flit_injection(flit)
+        if self.trace is not None:
+            self.trace.emit(flit.injected_cycle, EV_INJECT, self.node, flit)
 
     @property
     def source_queue_len(self) -> int:
@@ -129,6 +144,9 @@ class BaseRouter(ABC):
         (designs differ in which crossbar the flit crossed)."""
         if port == Port.LOCAL:
             assert flit.dst == self.node, "ejecting a flit at a foreign node"
+            self.counters.ejected += 1
+            if self.trace is not None:
+                self.trace.emit(cycle, EV_EJECT, self.node, flit, hops=flit.hops)
             self.network.eject(flit, cycle)
         else:
             flit.hops += 1
@@ -158,11 +176,23 @@ class BaseRouter(ABC):
     def mark_network_entry(self, flit: Flit, cycle: int) -> None:
         if flit.network_entry_cycle < 0:
             flit.network_entry_cycle = cycle
+            self.counters.entries += 1
             self.stats.per_node_entries[self.node] += 1
+            if self.trace is not None:
+                self.trace.emit(cycle, EV_ROUTE, self.node, flit)
 
     # ------------------------------------------------------------------
     # introspection (tests / draining)
     # ------------------------------------------------------------------
+    def telemetry_counters(self) -> Dict[str, int]:
+        """Uniform per-router counter dict.
+
+        Every design returns the same keys (unused counters stay zero), so
+        the engine merges them without per-design ``getattr`` probing and
+        the interval-metrics collector can take columnar deltas.
+        """
+        return self.counters.snapshot()
+
     def occupancy(self) -> int:
         """Number of flits held inside the router (excluding source queue).
 

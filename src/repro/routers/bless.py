@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from ..core.arbiters import oldest_first
+from ..obs.trace import EV_DEFLECT
 from ..sim.flit import Flit
 from ..sim.ports import Port
 from .base import BaseRouter
@@ -83,6 +84,11 @@ class BlessRouter(BaseRouter):
                 # truly oldest flit in the network always progresses).
                 port = free[0]
                 flit.deflections += 1
+                self.counters.deflections += 1
+                if self.trace is not None:
+                    self.trace.emit(
+                        cycle, EV_DEFLECT, self.node, flit, out_port=port.name
+                    )
             free.remove(port)
             self.energy.charge_xbar(flit)
             self.send(flit, port, cycle)

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.arbiters import RoundRobinArbiter
 from ..core.buffers import FlitFIFO
+from ..obs.trace import EV_ARB_WIN, EV_BUFFER, EV_TRAVERSE_PRIMARY
 from ..sim.flit import Flit
 from ..sim.ports import DIRECTIONS, NUM_PORTS, Port
 from .base import BaseRouter
@@ -68,6 +69,15 @@ class BufferedRouter(BaseRouter):
             flit.ready_cycle = cycle + BASELINE_RC_DELAY
             self.energy.charge_buffer(flit)
             bank.push(flit)
+            if self.trace is not None:
+                self.trace.emit(
+                    cycle,
+                    EV_BUFFER,
+                    self.node,
+                    flit,
+                    in_port=in_port.name,
+                    occupancy=len(bank),
+                )
 
     def _requesters(self, cycle: int) -> List[Tuple[Flit, Port, Optional[FlitFIFO]]]:
         """Collect SA requesters: every eligible FIFO head plus the source
@@ -140,6 +150,19 @@ class BufferedRouter(BaseRouter):
                 self.mark_network_entry(flit, cycle)
             self.consume_credit(out)
             self.energy.charge_xbar(flit)
+            self.counters.primary_traversals += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    cycle, EV_ARB_WIN, self.node, flit, in_port=in_port.name
+                )
+                self.trace.emit(
+                    cycle,
+                    EV_TRAVERSE_PRIMARY,
+                    self.node,
+                    flit,
+                    in_port=in_port.name,
+                    out_port=out.name,
+                )
             self.send(flit, out, cycle)
 
     def _any_occupancy(self) -> bool:

@@ -25,6 +25,7 @@ import heapq
 from typing import List, Tuple
 
 from ..core.arbiters import oldest_first
+from ..obs.trace import EV_DROP, EV_RETRANSMIT
 from ..sim.flit import Flit
 from ..sim.ports import Port
 from .base import BaseRouter
@@ -55,10 +56,13 @@ class ScarabRouter(BaseRouter):
     def _drop(self, flit: Flit, cycle: int) -> None:
         """Drop ``flit`` here and fire a NACK back to its source."""
         self.stats.record_drop(flit)
+        self.counters.drops += 1
         hops_back = self.mesh.manhattan(self.node, flit.src)
         self.energy.charge_nack(flit, max(1, hops_back))
         flit.retransmits += 1
         ready = cycle + hops_back + NACK_OVERHEAD_CYCLES
+        if self.trace is not None:
+            self.trace.emit(cycle, EV_DROP, self.node, flit, nack_hops=hops_back)
         self.network.router_at(flit.src).queue_retransmit(flit, ready)
 
     # ------------------------------------------------------------------
@@ -118,6 +122,9 @@ class ScarabRouter(BaseRouter):
             return
         if from_retx:
             heapq.heappop(self._retx)
+            self.counters.retransmits += 1
+            if self.trace is not None:
+                self.trace.emit(cycle, EV_RETRANSMIT, self.node, candidate)
         else:
             self.inj_queue.popleft()
             self.mark_network_entry(candidate, cycle)

@@ -61,6 +61,47 @@ class FaultConfig:
 
 
 @dataclass(frozen=True)
+class TelemetryConfig:
+    """Observability knobs (see :mod:`repro.obs` and docs/observability.md).
+
+    Everything defaults to off: the default simulation constructs no
+    tracer, no metrics collector and no profiler, and the hot loop pays a
+    single ``is None`` branch per potential event.
+
+    ``trace_path`` streams flit-lifecycle events to a JSONL file;
+    ``trace_buffer`` (mutually exclusive alternative) keeps the last N
+    records in an in-memory ring instead.  ``metrics_interval`` samples
+    per-router time series every N cycles, optionally persisted to
+    ``metrics_path``.  ``profile`` wall-clock-times the engine phases.
+    """
+
+    trace_path: Optional[str] = None
+    trace_buffer: int = 0
+    metrics_interval: int = 0
+    metrics_path: Optional[str] = None
+    profile: bool = False
+
+    def __post_init__(self) -> None:
+        if self.trace_buffer < 0:
+            raise ValueError("trace_buffer must be >= 0 (0 disables)")
+        if self.trace_path and self.trace_buffer:
+            raise ValueError("trace_path and trace_buffer are mutually exclusive")
+        if self.metrics_interval < 0:
+            raise ValueError("metrics_interval must be >= 0 (0 disables)")
+        if self.metrics_path and self.metrics_interval == 0:
+            raise ValueError("metrics_path requires metrics_interval > 0")
+
+    @property
+    def enabled(self) -> bool:
+        return bool(
+            self.trace_path
+            or self.trace_buffer
+            or self.metrics_interval
+            or self.profile
+        )
+
+
+@dataclass(frozen=True)
 class SimConfig:
     """All knobs of one simulation run.
 
@@ -83,6 +124,7 @@ class SimConfig:
     ejection_ports: int = 1  # simultaneous ejections in bufferless designs
     link_latency: int = 2  # ST cycle + LT cycle (see repro.sim.link)
     faults: FaultConfig = field(default_factory=FaultConfig)
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     # Closed-loop (trace / SPLASH-2) runs ignore offered_load and stop when
     # the workload completes or max_cycles elapses.
     max_cycles: Optional[int] = None

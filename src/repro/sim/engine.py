@@ -7,12 +7,21 @@ Two run modes:
 * **closed loop** (trace / SPLASH-2 workloads, ``config.max_cycles`` set):
   run until the workload reports completion and the network is empty; the
   figure of merit is the final cycle ("execution time").
+
+Observability: the engine owns the run's :class:`~repro.obs.Telemetry`
+facade (built from ``config.telemetry`` unless one is passed in), samples
+interval metrics every N cycles, wall-clock-profiles the
+``workload.tick`` / ``network.step`` / stats phases when asked, and merges
+the routers' uniform ``telemetry_counters()`` dicts into the result.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from time import perf_counter
+from typing import Dict, Optional
 
+from ..obs.counters import merge_counters
+from ..obs.facade import Telemetry
 from ..traffic.generator import BernoulliSynthetic, Workload
 from ..traffic.patterns import make_pattern
 from .config import SimConfig
@@ -23,13 +32,23 @@ from .stats import SimResult, StatsCollector
 class Simulator:
     """Owns one network + workload pair and runs it to completion."""
 
-    def __init__(self, config: SimConfig, workload: Optional[Workload] = None) -> None:
+    def __init__(
+        self,
+        config: SimConfig,
+        workload: Optional[Workload] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
         self.config = config
         self.stats = StatsCollector(config.num_nodes)
         self.stats.set_window(
             config.warmup_cycles, config.warmup_cycles + config.measure_cycles
         )
-        self.network = Network(config, self.stats)
+        self.telemetry = (
+            telemetry
+            if telemetry is not None
+            else Telemetry.from_config(config.telemetry, k=config.k)
+        )
+        self.network = Network(config, self.stats, telemetry=self.telemetry)
         if workload is None:
             pattern = make_pattern(config.pattern, self.network.mesh)
             workload = BernoulliSynthetic(
@@ -51,14 +70,29 @@ class Simulator:
         """
         network = self.network
         workload = self.workload
+        telemetry = self.telemetry
+        prof = telemetry.profiler
+        metrics = telemetry.metrics
+        interval = metrics.interval if metrics is not None else 0
         if self.config.max_cycles is None:
             inject_until = self.config.warmup_cycles + self.config.measure_cycles
             horizon = self.config.total_cycles
             cycle = 0
             while cycle < horizon:
-                workload.tick(cycle, network)
-                network.step()
+                if prof is None:
+                    workload.tick(cycle, network)
+                    network.step()
+                else:
+                    t0 = perf_counter()
+                    workload.tick(cycle, network)
+                    t1 = perf_counter()
+                    network.step()
+                    t2 = perf_counter()
+                    prof.add("workload.tick", t1 - t0)
+                    prof.add("network.step", t2 - t1)
                 cycle += 1
+                if interval and cycle % interval == 0:
+                    metrics.sample(network, cycle)
                 if check_invariants and cycle % 100 == 0:
                     network.check_conservation()
                 # The drain phase ends early once every measured packet has
@@ -71,35 +105,63 @@ class Simulator:
             horizon = self.config.max_cycles
             cycle = 0
             while cycle < horizon:
-                workload.tick(cycle, network)
-                network.step()
+                if prof is None:
+                    workload.tick(cycle, network)
+                    network.step()
+                else:
+                    t0 = perf_counter()
+                    workload.tick(cycle, network)
+                    t1 = perf_counter()
+                    network.step()
+                    t2 = perf_counter()
+                    prof.add("workload.tick", t1 - t0)
+                    prof.add("network.step", t2 - t1)
                 cycle += 1
+                if interval and cycle % interval == 0:
+                    metrics.sample(network, cycle)
                 if check_invariants and cycle % 100 == 0:
                     network.check_conservation()
                 if workload.done() and network.quiescent():
                     break
             final_cycle = cycle
             # For closed-loop runs the window is the whole run, so accepted
-            # load reflects the realised throughput.
+            # load reflects the realised throughput.  Every ejection happened
+            # in [0, final_cycle), so the recount is exact.
             self.stats.set_window(0, final_cycle)
+            self.stats.ejected_in_window = self.stats.total_ejected_flits
 
-        self.stats.fairness_flips = sum(
-            getattr(r, "fairness", None).flips if hasattr(r, "fairness") else 0
-            for r in network.routers
-        )
-        return self.stats.result(
+        t_stats = perf_counter()
+
+        # Merge the routers' uniform counter dicts (the per-design
+        # ``getattr`` probing this replaces lived here before repro.obs).
+        per_router = network.router_counters()
+        counter_totals = merge_counters(per_router)
+        self.stats.fairness_flips = counter_totals.get("fairness_flips", 0)
+
+        telemetry.finish(network, final_cycle)
+
+        extra: Dict[str, object] = {
+            "pattern": self.config.pattern,
+            "fault_percent": self.config.faults.percent,
+            "active_flits_at_end": network.active_flits,
+            "measured_pending_at_end": self.stats.measured_pending,
+            "router_counter_totals": counter_totals,
+        }
+        result = self.stats.result(
             design=self.config.design,
             offered_load=self.config.offered_load,
             capacity=1.0,
             cycles=horizon,
             final_cycle=final_cycle,
-            extra={
-                "pattern": self.config.pattern,
-                "fault_percent": self.config.faults.percent,
-                "active_flits_at_end": network.active_flits,
-                "measured_pending_at_end": self.stats.measured_pending,
-            },
+            extra=extra,
+            per_router=per_router,
         )
+        if prof is not None:
+            prof.add("stats.finalize", perf_counter() - t_stats)
+            # Rebuild the result's extra with the completed profile (the
+            # SimResult itself is frozen, its extra dict is not).
+            result.extra["profile"] = prof.report()
+        return result
 
 
 def run_simulation(

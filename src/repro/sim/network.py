@@ -11,6 +11,7 @@ from typing import Dict, List, Optional, TYPE_CHECKING
 
 from ..core.faults import FaultPlan
 from ..energy.model import EnergyModel
+from ..obs.facade import Telemetry
 from .config import SimConfig
 from .flit import make_packet
 from .link import CreditChannel, Link
@@ -25,12 +26,18 @@ if TYPE_CHECKING:  # pragma: no cover
 class Network:
     """An ``k x k`` mesh of routers of one design."""
 
-    def __init__(self, config: SimConfig, stats: StatsCollector) -> None:
+    def __init__(
+        self,
+        config: SimConfig,
+        stats: StatsCollector,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
         # Imported here to avoid a designs <-> network import cycle.
         from ..designs import build_router, build_routing
 
         self.config = config
         self.stats = stats
+        self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
         self.mesh = Mesh(config.k)
         self.routing = build_routing(config, self.mesh)
         self.energy = EnergyModel.for_design(config.design, stats)
@@ -86,6 +93,9 @@ class Network:
         for router in self.routers:
             router.attach_network(self)
             router.finalize_wiring()
+        if self.telemetry.trace is not None:
+            for router in self.routers:
+                router.enable_trace(self.telemetry.trace)
 
     def _apply_faults(self) -> None:
         if self.config.faults.percent <= 0:
@@ -178,6 +188,10 @@ class Network:
 
     def flits_in_routers(self) -> int:
         return sum(r.pending_flits() for r in self.routers)
+
+    def router_counters(self) -> List[Dict[str, int]]:
+        """One uniform telemetry-counter dict per router, indexed by node."""
+        return [r.telemetry_counters() for r in self.routers]
 
     def check_conservation(self) -> None:
         """Every injected flit is either ejected or somewhere accountable.

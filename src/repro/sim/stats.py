@@ -9,7 +9,8 @@ invariant checks such as flit conservation).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 from .flit import Flit
@@ -159,8 +160,14 @@ class StatsCollector:
         cycles: int,
         final_cycle: int,
         extra: Optional[dict] = None,
+        per_router: Optional[List[Dict[str, int]]] = None,
     ) -> "SimResult":
-        """Freeze the collector into an immutable :class:`SimResult`."""
+        """Freeze the collector into an immutable :class:`SimResult`.
+
+        ``per_router`` is the engine-collected list of uniform router
+        telemetry-counter dicts (one per node); the per-node source-queue
+        arrival / network-entry / ejection splits are always included.
+        """
         window = max(1, self.measure_end - self.measure_start)
         accepted_rate = self.ejected_in_window / (self.num_nodes * window)
         return SimResult(
@@ -208,6 +215,12 @@ class StatsCollector:
             energy_link_nj=self.energy_link_pj / 1e3,
             energy_nack_nj=self.energy_nack_pj / 1e3,
             extra=dict(extra or {}),
+            per_node={
+                "injected": list(self.per_node_injected),
+                "entries": list(self.per_node_entries),
+                "ejected": list(self.per_node_ejected),
+            },
+            per_router=list(per_router) if per_router is not None else [],
         )
 
 
@@ -247,6 +260,10 @@ class SimResult:
     energy_link_nj: float
     energy_nack_nj: float
     extra: dict = field(default_factory=dict)
+    # Per-node stats splits (source-queue arrivals, network entries,
+    # ejections) and the per-router telemetry-counter breakdown.
+    per_node: dict = field(default_factory=dict)
+    per_router: list = field(default_factory=list)
 
     @property
     def total_energy_nj(self) -> float:
@@ -274,6 +291,22 @@ class SimResult:
         if self.ejected_flits == 0:
             return 0.0
         return self.total_energy_nj * 1e3 / self.ejected_flits
+
+    def to_dict(self) -> dict:
+        """Machine-readable form: every field plus the derived metrics.
+
+        The returned dict is JSON-serialisable as-is; CI harnesses consume
+        it through the CLI's ``--json`` flag.
+        """
+        d = asdict(self)
+        d["total_energy_nj"] = self.total_energy_nj
+        d["energy_per_packet_nj"] = self.energy_per_packet_nj
+        d["energy_per_flit_pj"] = self.energy_per_flit_pj
+        return d
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialise :meth:`to_dict` to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent)
 
     def summary(self) -> str:
         """One-line human-readable digest."""

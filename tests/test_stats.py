@@ -2,8 +2,11 @@
 
 import pytest
 
+from repro.sim.config import SimConfig
+from repro.sim.engine import Simulator
 from repro.sim.flit import Flit
 from repro.sim.stats import StatsCollector
+from repro.traffic.trace import TraceEvent, TraceWorkload
 
 
 def _flit(fid=0, pid=0, src=0, dst=1, t0=0, measured=True, num_flits=1, idx=0):
@@ -47,6 +50,72 @@ class TestCounters:
         s.record_ejection(_flit(dst=3), cycle=1)
         assert s.per_node_injected[2] == 1
         assert s.per_node_ejected[3] == 1
+
+
+class TestWindowEdges:
+    def test_pre_window_flit_ejected_inside_window(self):
+        """A flit injected before the window but ejected inside it counts
+        toward window throughput but not toward measured-cohort stats, and
+        its packet completes without entering the measured bookkeeping."""
+        s = StatsCollector(4)
+        s.set_window(10, 20)
+        s.record_packet_injection(0, cycle=5, num_flits=1, measured=False)
+        f = _flit(pid=0, t0=5, measured=False)
+        s.record_flit_injection(f)
+        s.record_ejection(f, cycle=15)
+        assert s.ejected_in_window == 1
+        assert s.ejected_flits == 0
+        assert s.flit_latency_sum == 0
+        assert s.packets_completed == 1
+        assert s.packet_latencies == []
+        assert s.measured_pending == 0
+        assert s.injected_flits == 0
+        assert s.total_injected_flits == 1
+
+    def test_zero_length_window(self):
+        s = StatsCollector(4)
+        s.set_window(10, 10)
+        assert not s.in_window(10)
+        assert not s.in_window(9)
+        s.record_ejection(_flit(measured=False), cycle=10)
+        assert s.ejected_in_window == 0
+        r = s.result(
+            design="dxbar_dor", offered_load=0.1, capacity=1.0,
+            cycles=10, final_cycle=10,
+        )
+        assert r.accepted_load == 0.0
+
+    def test_backwards_window_rejected(self):
+        s = StatsCollector(4)
+        with pytest.raises(ValueError):
+            s.set_window(20, 10)
+
+    def test_window_boundaries_half_open(self):
+        s = StatsCollector(4)
+        s.set_window(10, 20)
+        assert s.in_window(10)
+        assert not s.in_window(20)
+
+    def test_closed_loop_rewindows_to_whole_run(self):
+        """Closed-loop runs re-window to [0, final_cycle] so every ejection
+        lands inside the window and accepted load is realised throughput."""
+        cfg = SimConfig(
+            design="dxbar_dor", k=4, warmup_cycles=0, measure_cycles=1,
+            drain_cycles=0, seed=3, max_cycles=10_000,
+        )
+        sim = Simulator(cfg)
+        wl = TraceWorkload(
+            [TraceEvent(0, 0, 5, 2), TraceEvent(2, 3, 12, 1), TraceEvent(40, 9, 1, 2)]
+        )
+        sim.workload = wl
+        sim.network.workload = wl
+        r = sim.run()
+        assert sim.stats.measure_start == 0
+        assert sim.stats.measure_end == r.final_cycle
+        assert sim.stats.ejected_in_window == sim.stats.total_ejected_flits == 5
+        assert r.accepted_flits_per_node_cycle == pytest.approx(
+            5 / (16 * r.final_cycle)
+        )
 
 
 class TestPacketReassembly:
