@@ -10,8 +10,6 @@ Not figures from the paper — these probe the knobs the paper fixed:
 * BIST detection delay (paper assumed 5 cycles).
 """
 
-import pytest
-
 from repro.analysis.report import FigureResult
 from repro.sim.config import FaultConfig, SimConfig
 from repro.sim.engine import run_simulation

@@ -2,12 +2,22 @@
 
 One function per table/figure of the paper's evaluation (Section III).
 Each returns a :class:`~repro.analysis.report.FigureResult` whose series
-carry the same labels the paper plots.  Figures that share simulations
-(5/6, 7/8, 9/10, 11/12) run them once through a module-level cache.
+carry the same labels the paper plots.
+
+Every driver expands its simulation grid into
+:class:`~repro.runner.RunSpec` jobs and executes them through
+:func:`repro.runner.run_specs`, so all of them accept ``jobs`` (process
+parallelism) and ``cache``.  Figures that share simulations (5/6, 7/8,
+9/10, 11/12) hit the same config-hash keys in the result store and run
+them once; the default store is an in-memory
+:class:`~repro.runner.ResultCache` shared module-wide (point it at disk
+with ``cache=``, the CLI's ``--cache-dir`` or the ``REPRO_CACHE_DIR``
+environment variable for cross-process resume).
 
 Runtime is controlled by an :class:`ExperimentScale`; the ``REPRO_SCALE``
 environment variable (``quick`` / ``default`` / ``full``) selects a preset
-when the caller does not pass one explicitly.
+when the caller does not pass one explicitly, and ``REPRO_JOBS`` sets the
+default worker count.
 """
 
 from __future__ import annotations
@@ -19,14 +29,13 @@ from typing import Dict, List, Optional, Tuple
 from ..designs import DESIGN_LABELS, PAPER_DESIGNS
 from ..energy.area import design_area
 from ..energy.constants import DESIGN_ENERGY
+from ..runner import ResultCache, RunSpec, run_specs
 from ..sim.config import FaultConfig, SimConfig
-from ..sim.engine import Simulator, run_simulation
 from ..sim.stats import SimResult
-from ..sim.topology import Mesh
 from ..traffic.patterns import pattern_names
-from ..traffic.splash2 import generate_app_trace, splash2_app_names
-from ..traffic.trace import TraceWorkload
+from ..traffic.splash2 import splash2_app_names
 from .report import FigureResult
+from .sweep import CacheLike, as_cache
 
 
 @dataclass(frozen=True)
@@ -69,14 +78,48 @@ def scale_from_env(default: str = "quick") -> ExperimentScale:
 
 
 # ----------------------------------------------------------------------
-# shared-run cache
+# shared result store (config-hash keyed; replaces the old tuple-keyed
+# module cache)
 # ----------------------------------------------------------------------
-_CACHE: Dict[Tuple, object] = {}
+_RESULT_STORE = ResultCache(None)
 
 
 def clear_cache() -> None:
-    """Drop all cached experiment runs (tests use this)."""
-    _CACHE.clear()
+    """Drop the default in-memory result store (tests use this)."""
+    _RESULT_STORE.clear()
+
+
+def _resolve_jobs(jobs: Optional[int]) -> int:
+    if jobs is not None:
+        return jobs
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def _resolve_cache(cache: CacheLike) -> ResultCache:
+    if cache is not None:
+        return as_cache(cache)
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return ResultCache(env)
+    return _RESULT_STORE
+
+
+def _run_grid(
+    specs: List[RunSpec],
+    jobs: Optional[int],
+    cache: CacheLike,
+    progress=None,
+) -> List[SimResult]:
+    outcomes = run_specs(
+        specs,
+        jobs=_resolve_jobs(jobs),
+        cache=_resolve_cache(cache),
+        progress=progress,
+    )
+    return [o.result for o in outcomes]
 
 
 def _base_config(scale: ExperimentScale) -> SimConfig:
@@ -132,24 +175,33 @@ def table3() -> FigureResult:
 # ----------------------------------------------------------------------
 # Figs 5 & 6 — uniform-random load sweep
 # ----------------------------------------------------------------------
-def _ur_sweep(scale: ExperimentScale) -> Dict[str, List[SimResult]]:
-    key = ("ur_sweep", scale)
-    if key not in _CACHE:
-        base = _base_config(scale)
-        out: Dict[str, List[SimResult]] = {}
-        for design in PAPER_DESIGNS:
-            out[design] = [
-                run_simulation(base.with_(design=design, pattern="UR", offered_load=l))
-                for l in scale.loads
-            ]
-        _CACHE[key] = out
-    return _CACHE[key]
+def _ur_sweep(
+    scale: ExperimentScale, jobs=None, cache: CacheLike = None, progress=None
+) -> Dict[str, List[SimResult]]:
+    base = _base_config(scale)
+    specs = [
+        RunSpec(base.with_(design=design, pattern="UR", offered_load=load), tag=design)
+        for design in PAPER_DESIGNS
+        for load in scale.loads
+    ]
+    results = _run_grid(specs, jobs, cache, progress)
+    n = len(scale.loads)
+    return {
+        design: results[i * n : (i + 1) * n]
+        for i, design in enumerate(PAPER_DESIGNS)
+    }
 
 
-def fig5(scale: Optional[ExperimentScale] = None) -> FigureResult:
+def fig5(
+    scale: Optional[ExperimentScale] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache: CacheLike = None,
+    progress=None,
+) -> FigureResult:
     """Fig 5: accepted vs offered load, uniform random."""
     scale = scale or scale_from_env()
-    runs = _ur_sweep(scale)
+    runs = _ur_sweep(scale, jobs, cache, progress)
     return FigureResult(
         exp_id="fig5",
         title="Throughput of Uniform Random traffic pattern",
@@ -161,10 +213,16 @@ def fig5(scale: Optional[ExperimentScale] = None) -> FigureResult:
     )
 
 
-def fig6(scale: Optional[ExperimentScale] = None) -> FigureResult:
+def fig6(
+    scale: Optional[ExperimentScale] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache: CacheLike = None,
+    progress=None,
+) -> FigureResult:
     """Fig 6: average energy (nJ/packet) vs offered load, uniform random."""
     scale = scale or scale_from_env()
-    runs = _ur_sweep(scale)
+    runs = _ur_sweep(scale, jobs, cache, progress)
     return FigureResult(
         exp_id="fig6",
         title="Power of Uniform Random traffic pattern",
@@ -180,26 +238,34 @@ def fig6(scale: Optional[ExperimentScale] = None) -> FigureResult:
 # ----------------------------------------------------------------------
 # Figs 7 & 8 — all synthetic patterns at offered load 0.5
 # ----------------------------------------------------------------------
-def _synthetic_half(scale: ExperimentScale) -> Dict[str, Dict[str, SimResult]]:
-    key = ("synthetic_half", scale)
-    if key not in _CACHE:
-        base = _base_config(scale)
-        out: Dict[str, Dict[str, SimResult]] = {}
-        for design in PAPER_DESIGNS:
-            out[design] = {
-                p: run_simulation(
-                    base.with_(design=design, pattern=p, offered_load=0.5)
-                )
-                for p in pattern_names()
-            }
-        _CACHE[key] = out
-    return _CACHE[key]
+def _synthetic_half(
+    scale: ExperimentScale, jobs=None, cache: CacheLike = None, progress=None
+) -> Dict[str, Dict[str, SimResult]]:
+    base = _base_config(scale)
+    patterns = list(pattern_names())
+    specs = [
+        RunSpec(base.with_(design=design, pattern=p, offered_load=0.5), tag=design)
+        for design in PAPER_DESIGNS
+        for p in patterns
+    ]
+    results = _run_grid(specs, jobs, cache, progress)
+    n = len(patterns)
+    return {
+        design: dict(zip(patterns, results[i * n : (i + 1) * n]))
+        for i, design in enumerate(PAPER_DESIGNS)
+    }
 
 
-def fig7(scale: Optional[ExperimentScale] = None) -> FigureResult:
+def fig7(
+    scale: Optional[ExperimentScale] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache: CacheLike = None,
+    progress=None,
+) -> FigureResult:
     """Fig 7: throughput at offered load 0.5 for all synthetic traces."""
     scale = scale or scale_from_env()
-    runs = _synthetic_half(scale)
+    runs = _synthetic_half(scale, jobs, cache, progress)
     return FigureResult(
         exp_id="fig7",
         title="Throughput at offered load = 0.5 of all synthetic traces",
@@ -212,10 +278,16 @@ def fig7(scale: Optional[ExperimentScale] = None) -> FigureResult:
     )
 
 
-def fig8(scale: Optional[ExperimentScale] = None) -> FigureResult:
+def fig8(
+    scale: Optional[ExperimentScale] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache: CacheLike = None,
+    progress=None,
+) -> FigureResult:
     """Fig 8: energy at offered load 0.5 for all synthetic traces."""
     scale = scale or scale_from_env()
-    runs = _synthetic_half(scale)
+    runs = _synthetic_half(scale, jobs, cache, progress)
     return FigureResult(
         exp_id="fig8",
         title="Energy consumed at offered load = 0.5 of all synthetic traces",
@@ -231,40 +303,47 @@ def fig8(scale: Optional[ExperimentScale] = None) -> FigureResult:
 # ----------------------------------------------------------------------
 # Figs 9 & 10 — SPLASH-2 trace replay
 # ----------------------------------------------------------------------
-def _splash_runs(scale: ExperimentScale) -> Dict[str, Dict[str, SimResult]]:
-    key = ("splash", scale)
-    if key not in _CACHE:
-        mesh = Mesh(8)
-        out: Dict[str, Dict[str, SimResult]] = {}
-        for app in splash2_app_names():
-            trace = generate_app_trace(
-                app, mesh, txns_per_core=scale.txns_per_core, seed=scale.seed + 100
+def _splash_runs(
+    scale: ExperimentScale, jobs=None, cache: CacheLike = None, progress=None
+) -> Dict[str, Dict[str, SimResult]]:
+    apps = list(splash2_app_names())
+    specs = []
+    for app in apps:
+        workload = {
+            "kind": "splash2",
+            "app": app,
+            "txns_per_core": scale.txns_per_core,
+            "seed": scale.seed + 100,
+        }
+        for design in PAPER_DESIGNS:
+            cfg = SimConfig(
+                design=design,
+                warmup_cycles=0,
+                measure_cycles=1,
+                drain_cycles=0,
+                seed=scale.seed,
+                max_cycles=scale.max_trace_cycles,
             )
-            per_design: Dict[str, SimResult] = {}
-            for design in PAPER_DESIGNS:
-                cfg = SimConfig(
-                    design=design,
-                    warmup_cycles=0,
-                    measure_cycles=1,
-                    drain_cycles=0,
-                    seed=scale.seed,
-                    max_cycles=scale.max_trace_cycles,
-                )
-                sim = Simulator(cfg)
-                wl = TraceWorkload(list(trace))
-                sim.workload = wl
-                sim.network.workload = wl
-                per_design[design] = sim.run()
-            out[app] = per_design
-        _CACHE[key] = out
-    return _CACHE[key]
+            specs.append(RunSpec(cfg, workload=workload, tag=f"{app}/{design}"))
+    results = _run_grid(specs, jobs, cache, progress)
+    n = len(PAPER_DESIGNS)
+    return {
+        app: dict(zip(PAPER_DESIGNS, results[i * n : (i + 1) * n]))
+        for i, app in enumerate(apps)
+    }
 
 
-def fig9(scale: Optional[ExperimentScale] = None) -> FigureResult:
+def fig9(
+    scale: Optional[ExperimentScale] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache: CacheLike = None,
+    progress=None,
+) -> FigureResult:
     """Fig 9: normalized execution time of all SPLASH-2 traces
     (normalised to Buffered 4, as the tallest baseline bar)."""
     scale = scale or scale_from_env()
-    runs = _splash_runs(scale)
+    runs = _splash_runs(scale, jobs, cache, progress)
     apps = list(splash2_app_names())
     series = {}
     for d in PAPER_DESIGNS:
@@ -281,10 +360,16 @@ def fig9(scale: Optional[ExperimentScale] = None) -> FigureResult:
     )
 
 
-def fig10(scale: Optional[ExperimentScale] = None) -> FigureResult:
+def fig10(
+    scale: Optional[ExperimentScale] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache: CacheLike = None,
+    progress=None,
+) -> FigureResult:
     """Fig 10: energy consumed (nJ/packet) of all SPLASH-2 traces."""
     scale = scale or scale_from_env()
-    runs = _splash_runs(scale)
+    runs = _splash_runs(scale, jobs, cache, progress)
     apps = list(splash2_app_names())
     return FigureResult(
         exp_id="fig10",
@@ -301,29 +386,42 @@ def fig10(scale: Optional[ExperimentScale] = None) -> FigureResult:
 # ----------------------------------------------------------------------
 # Figs 11 & 12 — crossbar faults
 # ----------------------------------------------------------------------
-def _fault_grid(scale: ExperimentScale) -> Dict[Tuple[str, float, float], SimResult]:
-    key = ("faults", scale)
-    if key not in _CACHE:
-        base = _base_config(scale)
-        out: Dict[Tuple[str, float, float], SimResult] = {}
-        for design in ("dxbar_dor", "dxbar_wf"):
-            for pct in scale.fault_percents:
-                for load in scale.fault_loads:
-                    cfg = base.with_(
-                        design=design,
-                        pattern="UR",
-                        offered_load=load,
-                        faults=FaultConfig(percent=pct, manifest_window=max(1, scale.warmup)),
-                    )
-                    out[(design, pct, load)] = run_simulation(cfg)
-        _CACHE[key] = out
-    return _CACHE[key]
+def _fault_grid(
+    scale: ExperimentScale, jobs=None, cache: CacheLike = None, progress=None
+) -> Dict[Tuple[str, float, float], SimResult]:
+    base = _base_config(scale)
+    keys = [
+        (design, pct, load)
+        for design in ("dxbar_dor", "dxbar_wf")
+        for pct in scale.fault_percents
+        for load in scale.fault_loads
+    ]
+    specs = [
+        RunSpec(
+            base.with_(
+                design=design,
+                pattern="UR",
+                offered_load=load,
+                faults=FaultConfig(percent=pct, manifest_window=max(1, scale.warmup)),
+            ),
+            tag=f"{design}@{pct:.0f}%",
+        )
+        for design, pct, load in keys
+    ]
+    results = _run_grid(specs, jobs, cache, progress)
+    return dict(zip(keys, results))
 
 
 def _fault_fig(
-    scale: ExperimentScale, metric: str, exp_id: str, title: str
+    scale: ExperimentScale,
+    metric: str,
+    exp_id: str,
+    title: str,
+    jobs=None,
+    cache: CacheLike = None,
+    progress=None,
 ) -> FigureResult:
-    grid = _fault_grid(scale)
+    grid = _fault_grid(scale, jobs, cache, progress)
     load = max(scale.fault_loads)  # the paper discusses high-load behaviour
     series = {}
     for design in ("dxbar_dor", "dxbar_wf"):
@@ -342,7 +440,13 @@ def _fault_fig(
     )
 
 
-def fig11(scale: Optional[ExperimentScale] = None) -> FigureResult:
+def fig11(
+    scale: Optional[ExperimentScale] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache: CacheLike = None,
+    progress=None,
+) -> FigureResult:
     """Fig 11: throughput under increasing crossbar faults (DOR vs WF)."""
     scale = scale or scale_from_env()
     return _fault_fig(
@@ -350,10 +454,19 @@ def fig11(scale: Optional[ExperimentScale] = None) -> FigureResult:
         "accepted_load",
         "fig11",
         "Throughput with varying percentage of router crossbar faults",
+        jobs,
+        cache,
+        progress,
     )
 
 
-def fig11_latency(scale: Optional[ExperimentScale] = None) -> FigureResult:
+def fig11_latency(
+    scale: Optional[ExperimentScale] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache: CacheLike = None,
+    progress=None,
+) -> FigureResult:
     """Fig 11(c): average latency under increasing crossbar faults."""
     scale = scale or scale_from_env()
     return _fault_fig(
@@ -361,10 +474,19 @@ def fig11_latency(scale: Optional[ExperimentScale] = None) -> FigureResult:
         "avg_flit_latency",
         "fig11c",
         "Latency with varying percentage of router crossbar faults",
+        jobs,
+        cache,
+        progress,
     )
 
 
-def fig12(scale: Optional[ExperimentScale] = None) -> FigureResult:
+def fig12(
+    scale: Optional[ExperimentScale] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache: CacheLike = None,
+    progress=None,
+) -> FigureResult:
     """Fig 12: power (nJ/packet) under increasing crossbar faults."""
     scale = scale or scale_from_env()
     return _fault_fig(
@@ -372,16 +494,23 @@ def fig12(scale: Optional[ExperimentScale] = None) -> FigureResult:
         "energy",
         "fig12",
         "Power consumed with varying percentage of router crossbar faults",
+        jobs,
+        cache,
+        progress,
     )
 
 
 def fault_load_curves(
     scale: Optional[ExperimentScale] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache: CacheLike = None,
+    progress=None,
 ) -> Dict[str, FigureResult]:
     """Fig 11(a-b) companion: full accepted-vs-offered curves per fault
     percentage, one FigureResult per design."""
     scale = scale or scale_from_env()
-    grid = _fault_grid(scale)
+    grid = _fault_grid(scale, jobs, cache, progress)
     out = {}
     for design in ("dxbar_dor", "dxbar_wf"):
         series = {

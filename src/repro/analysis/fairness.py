@@ -14,7 +14,6 @@ from typing import Sequence
 
 from ..sim.engine import Simulator
 from ..sim.config import SimConfig
-from ..sim.topology import Mesh
 
 
 def jain_index(values: Sequence[float]) -> float:

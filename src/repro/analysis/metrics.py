@@ -10,7 +10,7 @@ linear interpolation between grid points.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 
 def saturation_point(

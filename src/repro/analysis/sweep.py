@@ -1,18 +1,32 @@
 """Parameter-sweep harnesses.
 
-These helpers run grids of :class:`~repro.sim.config.SimConfig` and collect
-:class:`~repro.sim.stats.SimResult` lists; the per-figure drivers in
+These helpers expand grids of :class:`~repro.sim.config.SimConfig` into
+:class:`~repro.runner.RunSpec` jobs and execute them through
+:func:`repro.runner.run_specs`, so every sweep accepts ``jobs`` (process
+parallelism), ``cache`` (a :class:`~repro.runner.ResultCache`, a directory
+path, or None) and ``progress`` callbacks.  The per-figure drivers in
 :mod:`repro.analysis.experiments` are built on them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
+from ..runner import ResultCache, RunSpec, run_specs
 from ..sim.config import SimConfig
-from ..sim.engine import run_simulation
 from ..sim.stats import SimResult
+
+CacheLike = Optional[Union[ResultCache, str, Path]]
+
+
+def as_cache(cache: CacheLike) -> Optional[ResultCache]:
+    """Coerce a cache argument: ResultCache passes through, a path becomes
+    a disk-backed cache, None stays None."""
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
 
 
 @dataclass
@@ -40,27 +54,55 @@ def sweep_loads(
     design: str,
     loads: Sequence[float],
     base: Optional[SimConfig] = None,
+    *,
+    jobs: int = 1,
+    cache: CacheLike = None,
+    progress=None,
     **overrides,
 ) -> SweepResult:
     """Run ``design`` at each offered load in ``loads``."""
     base = base or SimConfig()
-    results = []
-    for load in loads:
-        cfg = base.with_(design=design, offered_load=load, **overrides)
-        results.append(run_simulation(cfg))
-    return SweepResult(design=design, loads=list(loads), results=results)
+    specs = [
+        RunSpec(base.with_(design=design, offered_load=load, **overrides))
+        for load in loads
+    ]
+    outcomes = run_specs(specs, jobs=jobs, cache=as_cache(cache), progress=progress)
+    return SweepResult(
+        design=design, loads=list(loads), results=[o.result for o in outcomes]
+    )
 
 
 def sweep_designs(
     designs: Iterable[str],
     loads: Sequence[float],
     base: Optional[SimConfig] = None,
+    *,
+    jobs: int = 1,
+    cache: CacheLike = None,
+    progress=None,
     **overrides,
 ) -> Dict[str, SweepResult]:
-    """Run every design across the same load grid."""
-    return {
-        d: sweep_loads(d, loads, base=base, **overrides) for d in designs
-    }
+    """Run every design across the same load grid.
+
+    The full designs x loads grid is submitted as one batch, so ``jobs``
+    parallelism spans the whole grid rather than one design at a time.
+    """
+    designs = list(designs)
+    loads = list(loads)
+    base = base or SimConfig()
+    specs = [
+        RunSpec(base.with_(design=d, offered_load=load, **overrides), tag=d)
+        for d in designs
+        for load in loads
+    ]
+    outcomes = run_specs(specs, jobs=jobs, cache=as_cache(cache), progress=progress)
+    out: Dict[str, SweepResult] = {}
+    for i, d in enumerate(designs):
+        chunk = outcomes[i * len(loads) : (i + 1) * len(loads)]
+        out[d] = SweepResult(
+            design=d, loads=loads, results=[o.result for o in chunk]
+        )
+    return out
 
 
 def find_saturation(
@@ -71,13 +113,15 @@ def find_saturation(
     tolerance: float = 0.02,
     threshold: float = 0.95,
     max_iters: int = 12,
+    cache: CacheLike = None,
     **overrides,
 ) -> float:
     """Locate the saturation offered-load of ``design`` by bisection.
 
     A load is "stable" when accepted >= threshold * offered.  Compared to a
     fixed grid this needs ~log2(range/tolerance) simulations and returns
-    the crossover to within ``tolerance``.
+    the crossover to within ``tolerance``.  The probes go through the
+    runner, so passing ``cache`` makes repeated searches incremental.
 
     Returns ``hi`` if the design never saturates in range and ``lo`` if it
     is already saturated at the lower bound.
@@ -87,10 +131,11 @@ def find_saturation(
     if tolerance <= 0:
         raise ValueError("tolerance must be positive")
     base = base or SimConfig()
+    store = as_cache(cache)
 
     def stable(load: float) -> bool:
-        cfg = base.with_(design=design, offered_load=load, **overrides)
-        r = run_simulation(cfg)
+        spec = RunSpec(base.with_(design=design, offered_load=load, **overrides))
+        r = run_specs([spec], cache=store)[0].result
         return r.accepted_load >= threshold * load
 
     if not stable(lo):

@@ -8,44 +8,57 @@ Run as ``python -m repro <command>``:
 * ``splash`` — run one SPLASH-2 trace across designs;
 * ``designs`` / ``patterns`` — list what's available.
 
+``run``, ``sweep`` and ``figure`` accept ``--jobs N`` (process-parallel
+execution through :mod:`repro.runner`) and ``--cache-dir DIR`` (an on-disk
+result cache giving skip-completed/resume semantics).  Design and pattern
+choices come from the plugin registries; set ``REPRO_PLUGINS`` to a
+comma-separated list of importable modules to load out-of-tree designs or
+patterns before the parser is built::
+
+    REPRO_PLUGINS=my_designs python -m repro run --design my_dxbar
+
 Examples::
 
     python -m repro run --design dxbar_dor --pattern UR --load 0.3
     python -m repro run --design dxbar_dor --load 0.1 --json
     python -m repro run --trace events.jsonl --metrics-out metrics.json --profile
-    python -m repro sweep --designs dxbar_dor buffered8 --loads 0.1 0.3 0.5
-    python -m repro figure fig5 --scale quick
+    python -m repro sweep --designs dxbar_dor buffered8 --loads 0.1 0.3 0.5 --jobs 4
+    python -m repro figure fig5 --scale quick --jobs 4 --cache-dir .repro-cache
     python -m repro splash --app Ocean --txns 40
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib
 import json
+import os
 import sys
 from typing import List, Optional
 
 from .analysis.experiments import ALL_EXPERIMENTS, SCALES
 from .analysis.report import render_figure, render_table
-from .analysis.sweep import sweep_designs
+from .analysis.sweep import as_cache, sweep_designs
 from .designs import DESIGN_LABELS, PAPER_DESIGNS
-from .sim.config import (
-    KNOWN_DESIGNS,
-    KNOWN_PATTERNS,
-    FaultConfig,
-    SimConfig,
-    TelemetryConfig,
-)
-from .sim.engine import Simulator, run_simulation
+from .registry import design_names, pattern_names
+from .runner import RunSpec, run_specs
+from .sim.config import FaultConfig, SimConfig, TelemetryConfig
 from .sim.topology import Mesh
-from .traffic.patterns import pattern_names
 from .traffic.splash2 import generate_app_trace, splash2_app_names
-from .traffic.trace import TraceWorkload
+
+
+def load_plugins(spec: Optional[str] = None) -> None:
+    """Import the comma-separated modules named by ``spec`` (defaults to
+    the ``REPRO_PLUGINS`` environment variable) so their registry entries
+    exist before the argument parser computes its choices."""
+    spec = spec if spec is not None else os.environ.get("REPRO_PLUGINS", "")
+    for module in filter(None, (m.strip() for m in spec.split(","))):
+        importlib.import_module(module)
 
 
 def _add_sim_args(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--design", default="dxbar_dor", choices=KNOWN_DESIGNS)
-    p.add_argument("--pattern", default="UR", choices=KNOWN_PATTERNS)
+    p.add_argument("--design", default="dxbar_dor", choices=design_names())
+    p.add_argument("--pattern", default="UR", choices=pattern_names())
     p.add_argument("--load", type=float, default=0.3, help="offered load (flits/node/cycle)")
     p.add_argument("--k", type=int, default=8, help="mesh radix")
     p.add_argument("--warmup", type=int, default=500)
@@ -54,6 +67,18 @@ def _add_sim_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--packet-size", type=int, default=4)
     p.add_argument("--faults", type=float, default=0.0, help="crossbar fault percent")
+
+
+def _add_runner_args(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("orchestration (repro.runner)")
+    g.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the simulation grid (1 = serial)",
+    )
+    g.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="config-hash-keyed result cache; completed runs are skipped",
+    )
 
 
 def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
@@ -107,7 +132,10 @@ def _config_from(args) -> SimConfig:
 
 
 def cmd_run(args) -> int:
-    result = run_simulation(_config_from(args))
+    outcome = run_specs(
+        [RunSpec(_config_from(args))], cache=as_cache(args.cache_dir)
+    )[0]
+    result = outcome.result
     if args.json:
         print(result.to_json())
         return 0
@@ -123,7 +151,8 @@ def cmd_run(args) -> int:
         ["retransmissions", result.retransmissions],
         ["fairness flips", result.fairness_flips],
     ]
-    print(f"{DESIGN_LABELS[args.design]} | {args.pattern} @ {args.load}")
+    suffix = " (cached)" if outcome.cached else ""
+    print(f"{DESIGN_LABELS[args.design]} | {args.pattern} @ {args.load}{suffix}")
     print(render_table(["metric", "value"], rows))
     profile = result.extra.get("profile")
     if profile:
@@ -138,7 +167,13 @@ def cmd_run(args) -> int:
 
 def cmd_sweep(args) -> int:
     base = _config_from(args)
-    out = sweep_designs(args.designs, args.loads, base=base)
+    out = sweep_designs(
+        args.designs,
+        args.loads,
+        base=base,
+        jobs=args.jobs,
+        cache=as_cache(args.cache_dir),
+    )
     if args.json:
         payload = {
             "loads": list(args.loads),
@@ -169,7 +204,9 @@ def cmd_figure(args) -> int:
     if args.name == "table3":
         fig = driver()
     else:
-        fig = driver(SCALES[args.scale])
+        fig = driver(
+            SCALES[args.scale], jobs=args.jobs, cache=as_cache(args.cache_dir)
+        )
     print(render_figure(fig))
     return 0
 
@@ -189,10 +226,10 @@ def cmd_splash(args) -> int:
             seed=args.seed,
             max_cycles=1_000_000,
         )
-        sim = Simulator(cfg)
-        wl = TraceWorkload(list(trace))
-        sim.workload = wl
-        sim.network.workload = wl
+        from .sim.engine import Simulator
+        from .traffic.trace import TraceWorkload
+
+        sim = Simulator(cfg, workload=TraceWorkload(list(trace)))
         r = sim.run()
         if base_time is None:
             base_time = r.final_cycle
@@ -215,7 +252,7 @@ def cmd_splash(args) -> int:
 
 
 def cmd_designs(args) -> int:
-    for d in KNOWN_DESIGNS:
+    for d in design_names():
         print(f"{d:12s} {DESIGN_LABELS[d]}")
     return 0
 
@@ -233,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("run", help="run one simulation")
     _add_sim_args(p)
+    _add_runner_args(p)
     _add_telemetry_args(p)
     p.add_argument("--json", action="store_true",
                    help="print the SimResult as one JSON object")
@@ -240,8 +278,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sweep", help="offered-load sweep")
     _add_sim_args(p)
+    _add_runner_args(p)
     p.add_argument("--designs", nargs="+", default=["dxbar_dor", "buffered4"],
-                   choices=KNOWN_DESIGNS)
+                   choices=design_names())
     p.add_argument("--loads", nargs="+", type=float, default=[0.1, 0.3, 0.5])
     p.add_argument("--json", action="store_true",
                    help="print all SimResults as one JSON object")
@@ -250,13 +289,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("figure", help="regenerate a paper table/figure")
     p.add_argument("name", choices=sorted(ALL_EXPERIMENTS))
     p.add_argument("--scale", default="quick", choices=sorted(SCALES))
+    _add_runner_args(p)
     p.set_defaults(func=cmd_figure)
 
     p = sub.add_parser("splash", help="run one SPLASH-2 trace")
     p.add_argument("--app", default="FFT", choices=sorted(splash2_app_names()))
     p.add_argument("--txns", type=int, default=30)
     p.add_argument("--seed", type=int, default=7)
-    p.add_argument("--designs", nargs="+", default=None, choices=KNOWN_DESIGNS)
+    p.add_argument("--designs", nargs="+", default=None, choices=design_names())
     p.set_defaults(func=cmd_splash)
 
     p = sub.add_parser("designs", help="list router designs")
@@ -269,6 +309,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    load_plugins()
     args = build_parser().parse_args(argv)
     return args.func(args)
 

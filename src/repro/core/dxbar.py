@@ -84,9 +84,11 @@ class DXbarRouter(BaseRouter):
         (the flip record is emitted from :mod:`repro.core.fairness` at the
         moment the flip is applied)."""
         super().enable_trace(tracer)
-        self.fairness.on_flip = lambda flips: tracer.emit(
-            self._current_cycle, EV_FAIRNESS_FLIP, self.node, flips=flips
-        )
+
+        def _on_flip(flips: int) -> None:
+            tracer.emit(self._current_cycle, EV_FAIRNESS_FLIP, self.node, flips=flips)
+
+        self.fairness.on_flip = _on_flip
 
     # ------------------------------------------------------------------
     def step(self, cycle: int) -> None:

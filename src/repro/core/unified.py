@@ -23,7 +23,7 @@ too: a detected fault collapses it to single-lane buffered operation.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from ..obs.trace import (
     EV_ARB_LOSE,

@@ -25,18 +25,31 @@ class EnergyModel:
 
     @classmethod
     def for_design(cls, design: str, stats: StatsCollector) -> "EnergyModel":
-        """Build a model with the Table III constants of ``design``.
+        """Build a model with the energy constants of ``design``.
 
-        ``design`` accepts either a base name (``dxbar``) or a routed variant
-        (``dxbar_dor`` / ``dxbar_wf``).
+        Registered designs resolve through the design registry: an explicit
+        ``energy=EnergyConstants(...)`` on the spec wins, otherwise the
+        spec's ``base`` family keys Table III.  Bare family names
+        (``dxbar``) and routed variants (``dxbar_dor`` / ``dxbar_wf``) are
+        accepted directly for backward compatibility.
         """
-        base = design.split("_dor")[0].split("_wf")[0]
+        from ..registry import DESIGNS
+
+        base = design
+        if design in DESIGNS:
+            spec = DESIGNS.get(design)
+            if spec.energy is not None:
+                return cls(spec.energy, stats)
+            base = spec.base
+        else:
+            base = design.split("_dor")[0].split("_wf")[0]
         try:
             constants = DESIGN_ENERGY[base]
         except KeyError:
             raise ValueError(
                 f"no energy constants for design {design!r}; "
-                f"known: {sorted(DESIGN_ENERGY)}"
+                f"known: {sorted(DESIGN_ENERGY)} (plugin designs can pass "
+                f"energy=EnergyConstants(...) to register_design)"
             )
         return cls(constants, stats)
 

@@ -17,7 +17,7 @@ out directly (see :meth:`MetricsFrame.heatmap` and
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from .counters import COUNTER_FIELDS
 

@@ -20,7 +20,7 @@ Rules modelled here (standard FLIT-BLESS):
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 from ..core.arbiters import oldest_first
 from ..obs.trace import EV_DEFLECT

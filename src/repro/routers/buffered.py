@@ -30,7 +30,7 @@ from ..core.arbiters import RoundRobinArbiter
 from ..core.buffers import FlitFIFO
 from ..obs.trace import EV_ARB_WIN, EV_BUFFER, EV_TRAVERSE_PRIMARY
 from ..sim.flit import Flit
-from ..sim.ports import DIRECTIONS, NUM_PORTS, Port
+from ..sim.ports import NUM_PORTS, Port
 from .base import BaseRouter
 
 #: Extra pipeline cycles before a newly arrived flit may arbitrate

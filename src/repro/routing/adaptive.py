@@ -12,9 +12,11 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from ..sim.ports import Port
+from ..registry import register_routing
 from .base import RoutingFunction
 
 
+@register_routing("adaptive")
 class MinimalAdaptiveRouting(RoutingFunction):
     """All minimal productive ports, in load-balancing preference order."""
 

@@ -11,9 +11,11 @@ from __future__ import annotations
 from typing import Tuple
 
 from ..sim.ports import Port
+from ..registry import register_routing
 from .base import RoutingFunction
 
 
+@register_routing("dor")
 class DORRouting(RoutingFunction):
     """Deterministic XY routing: exactly one candidate port per hop."""
 

@@ -16,9 +16,11 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from ..sim.ports import Port
+from ..registry import register_routing
 from .base import RoutingFunction
 
 
+@register_routing("wf")
 class WestFirstRouting(RoutingFunction):
     """Minimal-adaptive West-First: 1-2 candidate ports per hop."""
 

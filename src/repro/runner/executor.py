@@ -1,0 +1,162 @@
+"""Serial and process-parallel execution of :class:`RunSpec` grids.
+
+:func:`run_specs` is the single entry point used by the sweep helpers, the
+per-figure experiment drivers and the CLI.  Guarantees:
+
+* **Determinism** — each job's RNG seed lives in its config, so the same
+  spec produces the same :class:`~repro.sim.stats.SimResult` regardless of
+  executor, worker count or completion order.  Parallel output equals
+  serial output dict-for-dict.
+* **Ordering** — results come back in spec order, whatever order the
+  workers finish in.
+* **Resume** — with a :class:`~repro.runner.cache.ResultCache`, completed
+  jobs are skipped (a cache hit never re-simulates) and fresh results are
+  written back, so an interrupted campaign continues where it stopped.
+
+Workers receive jobs as plain dicts (``RunSpec.describe()``), which keeps
+the process boundary free of pickling surprises; plugin modules named in
+``plugins`` are imported in each worker before any job runs so that
+out-of-tree registry entries resolve under the ``spawn`` start method too.
+"""
+
+from __future__ import annotations
+
+import importlib
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..sim.config import SimConfig
+from ..sim.engine import Simulator
+from ..sim.stats import SimResult
+from .cache import ResultCache
+from .spec import RunSpec, materialize_workload
+
+#: Progress callback signature: ``progress(done, total, outcome)``.
+ProgressFn = Callable[[int, int, "RunOutcome"], None]
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """One finished job: its spec, result and provenance."""
+
+    spec: RunSpec
+    result: SimResult
+    cached: bool = False
+
+    @property
+    def config(self) -> SimConfig:
+        return self.spec.config
+
+
+def execute_spec(spec: RunSpec, check_invariants: bool = False) -> SimResult:
+    """Run one job in this process and return its result."""
+    workload = materialize_workload(spec.workload, spec.config)
+    sim = Simulator(spec.config, workload=workload)
+    return sim.run(check_invariants=check_invariants)
+
+
+# ----------------------------------------------------------------------
+# worker-side entry points (must be module-level for pickling)
+# ----------------------------------------------------------------------
+def _init_worker(plugins: Tuple[str, ...]) -> None:
+    for module in plugins:
+        importlib.import_module(module)
+
+
+def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    spec = RunSpec.from_dict(payload)
+    return execute_spec(spec).to_dict()
+
+
+# ----------------------------------------------------------------------
+def run_specs(
+    specs: Sequence[RunSpec],
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressFn] = None,
+    plugins: Iterable[str] = (),
+    check_invariants: bool = False,
+) -> List[RunOutcome]:
+    """Execute ``specs`` and return their outcomes in spec order.
+
+    ``jobs`` <= 1 runs serially in this process; ``jobs`` > 1 fans the
+    non-cached specs out over a :class:`ProcessPoolExecutor` with ``jobs``
+    workers.  ``cache`` enables skip-completed/resume semantics.
+    ``progress`` is called after every job (cached ones included) with the
+    running completion count.
+    """
+    specs = list(specs)
+    if jobs < 0:
+        raise ValueError("jobs must be >= 0 (0/1 both mean serial)")
+    plugins = tuple(plugins)
+    total = len(specs)
+    outcomes: List[Optional[RunOutcome]] = [None] * total
+    done = 0
+
+    def _report(outcome: RunOutcome) -> None:
+        nonlocal done
+        done += 1
+        if progress is not None:
+            progress(done, total, outcome)
+
+    # Resolve cache hits first so a resumed campaign only pays for the
+    # missing cells of its grid, and deduplicate identical specs within
+    # the batch (they share one execution).
+    pending: Dict[str, List[int]] = {}
+    for i, spec in enumerate(specs):
+        hit = cache.get(spec) if cache is not None else None
+        if hit is not None:
+            outcomes[i] = RunOutcome(spec=spec, result=SimResult.from_dict(hit), cached=True)
+            _report(outcomes[i])
+        else:
+            pending.setdefault(spec.job_id(), []).append(i)
+
+    def _finish(indexes: List[int], result: SimResult) -> None:
+        if cache is not None:
+            cache.put(specs[indexes[0]], result.to_dict())
+        for j, i in enumerate(indexes):
+            outcomes[i] = RunOutcome(spec=specs[i], result=result, cached=j > 0)
+            _report(outcomes[i])
+
+    if jobs <= 1 or len(pending) <= 1:
+        for indexes in pending.values():
+            result = execute_spec(specs[indexes[0]], check_invariants=check_invariants)
+            _finish(indexes, result)
+    else:
+        workers = min(jobs, len(pending))
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_init_worker, initargs=(plugins,)
+        ) as pool:
+            futures = {
+                pool.submit(_execute_payload, specs[indexes[0]].describe()): indexes
+                for indexes in pending.values()
+            }
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for fut in finished:
+                    # .result() re-raises worker errors in the parent.
+                    _finish(futures[fut], SimResult.from_dict(fut.result()))
+
+    return [o for o in outcomes if o is not None]
+
+
+def run_configs(
+    configs: Sequence[SimConfig],
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressFn] = None,
+    plugins: Iterable[str] = (),
+) -> List[SimResult]:
+    """Convenience wrapper: run bare configs, return just the results."""
+    outcomes = run_specs(
+        [RunSpec(config=c) for c in configs],
+        jobs=jobs,
+        cache=cache,
+        progress=progress,
+        plugins=plugins,
+    )
+    return [o.result for o in outcomes]

@@ -3,28 +3,37 @@
 One :class:`SimConfig` fully determines a run: design, routing, topology,
 traffic, measurement protocol, fault plan and seeds.  It validates eagerly
 so that sweep harnesses fail fast on bad parameter grids.
+
+Designs and patterns are validated against the plugin registries in
+:mod:`repro.registry`, so a design registered out-of-tree is immediately
+accepted here.  The legacy ``KNOWN_DESIGNS`` / ``KNOWN_PATTERNS`` names
+remain importable as dynamic views of those registries.
+
+Configs are losslessly serialisable: :meth:`SimConfig.to_dict` /
+:meth:`SimConfig.from_dict` round-trip across process boundaries (the
+parallel runner ships configs to workers as dicts) and
+:meth:`SimConfig.config_hash` is a stable content hash that keys the
+on-disk result cache.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Dict, Optional
 
-#: Designs accepted by the factory in :mod:`repro.designs`.
-KNOWN_DESIGNS = (
-    "flit_bless",
-    "scarab",
-    "buffered4",
-    "buffered8",
-    "dxbar_dor",
-    "dxbar_wf",
-    "unified_dor",
-    "unified_wf",
-    "afc",
-)
+from ..registry import DESIGNS, PATTERNS
 
-#: Synthetic patterns from Section III.A.
-KNOWN_PATTERNS = ("UR", "NUR", "BR", "BF", "CP", "MT", "PS", "NB", "TOR")
+
+def _check_fields(cls, data: Dict[str, Any]) -> None:
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown {cls.__name__} fields in dict: {unknown}; "
+            f"expected a subset of {sorted(known)}"
+        )
 
 
 @dataclass(frozen=True)
@@ -58,6 +67,14 @@ class FaultConfig:
             raise ValueError(
                 f"granularity must be 'crossbar' or 'crosspoint', got {self.granularity!r}"
             )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultConfig":
+        _check_fields(cls, data)
+        return cls(**data)
 
 
 @dataclass(frozen=True)
@@ -100,6 +117,14 @@ class TelemetryConfig:
             or self.profile
         )
 
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TelemetryConfig":
+        _check_fields(cls, data)
+        return cls(**data)
+
 
 @dataclass(frozen=True)
 class SimConfig:
@@ -130,13 +155,13 @@ class SimConfig:
     max_cycles: Optional[int] = None
 
     def __post_init__(self) -> None:
-        if self.design not in KNOWN_DESIGNS:
+        if self.design not in DESIGNS:
             raise ValueError(
-                f"unknown design {self.design!r}; expected one of {KNOWN_DESIGNS}"
+                f"unknown design {self.design!r}; expected one of {DESIGNS.names()}"
             )
-        if self.pattern not in KNOWN_PATTERNS:
+        if self.pattern not in PATTERNS:
             raise ValueError(
-                f"unknown pattern {self.pattern!r}; expected one of {KNOWN_PATTERNS}"
+                f"unknown pattern {self.pattern!r}; expected one of {PATTERNS.names()}"
             )
         if self.k < 2:
             raise ValueError("mesh radix k must be >= 2")
@@ -156,10 +181,11 @@ class SimConfig:
             raise ValueError("ejection_ports must be >= 1")
         if self.link_latency < 1:
             raise ValueError("link_latency must be >= 1")
-        if self.faults.percent > 0 and not self.design.startswith(("dxbar", "unified")):
+        if self.faults.percent > 0 and not self.spec.supports_faults:
             raise ValueError(
                 "crossbar fault injection is defined for the dual-crossbar "
-                "designs only (dxbar_*/unified_*)"
+                "designs only (dxbar_*/unified_*); design "
+                f"{self.design!r} does not support it"
             )
 
     # ------------------------------------------------------------------
@@ -172,25 +198,61 @@ class SimConfig:
         return self.k * self.k
 
     @property
+    def spec(self):
+        """The registered :class:`~repro.registry.DesignSpec` of ``design``."""
+        return DESIGNS.get(self.design)
+
+    @property
     def base_design(self) -> str:
         """Design family without the routing suffix (``dxbar_wf`` -> ``dxbar``)."""
-        for suffix in ("_dor", "_wf"):
-            if self.design.endswith(suffix):
-                return self.design[: -len(suffix)]
-        return self.design
+        return self.spec.base
 
     @property
     def routing(self) -> str:
-        """``dor`` or ``wf``.  Bufferless baselines use minimal-adaptive
-        port selection internally and report ``adaptive``."""
-        if self.design.endswith("_wf"):
-            return "wf"
-        if self.design.endswith("_dor"):
-            return "dor"
-        if self.design in ("flit_bless", "scarab", "afc"):
-            return "adaptive"
-        return "dor"
+        """Name of the design's routing function (``dor``, ``wf`` or
+        ``adaptive``), as declared in its registry spec."""
+        return self.spec.routing
 
     def with_(self, **kwargs) -> "SimConfig":
         """Return a copy with fields replaced (sweep helper)."""
         return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless JSON-serialisable form (nested configs become dicts)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SimConfig":
+        """Inverse of :meth:`to_dict`; rejects unknown keys so corrupted
+        cache entries fail loudly instead of silently dropping fields."""
+        _check_fields(cls, data)
+        data = dict(data)
+        faults = data.get("faults")
+        if isinstance(faults, dict):
+            data["faults"] = FaultConfig.from_dict(faults)
+        telemetry = data.get("telemetry")
+        if isinstance(telemetry, dict):
+            data["telemetry"] = TelemetryConfig.from_dict(telemetry)
+        return cls(**data)
+
+    def config_hash(self) -> str:
+        """Stable content hash of the config (hex, 16 chars).
+
+        Computed over the canonical JSON encoding of :meth:`to_dict`, so it
+        is identical across processes and interpreter runs and keys the
+        runner's on-disk result cache.
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def __getattr__(name: str):
+    # Legacy aliases: live views of the plugin registries (PEP 562).
+    if name == "KNOWN_DESIGNS":
+        return DESIGNS.names()
+    if name == "KNOWN_PATTERNS":
+        return PATTERNS.names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

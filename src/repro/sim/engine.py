@@ -62,6 +62,40 @@ class Simulator:
         self.network.workload = workload
 
     # ------------------------------------------------------------------
+    def _run_loop(self, horizon: int, stop, check_invariants: bool) -> int:
+        """Advance the network until ``horizon`` cycles elapse or
+        ``stop(cycle)`` returns True; returns the final cycle.
+
+        Shared by the open- and closed-loop modes, which differ only in
+        their horizon and early-exit condition.
+        """
+        network = self.network
+        workload = self.workload
+        prof = self.telemetry.profiler
+        metrics = self.telemetry.metrics
+        interval = metrics.interval if metrics is not None else 0
+        cycle = 0
+        while cycle < horizon:
+            if prof is None:
+                workload.tick(cycle, network)
+                network.step()
+            else:
+                t0 = perf_counter()
+                workload.tick(cycle, network)
+                t1 = perf_counter()
+                network.step()
+                t2 = perf_counter()
+                prof.add("workload.tick", t1 - t0)
+                prof.add("network.step", t2 - t1)
+            cycle += 1
+            if interval and cycle % interval == 0:
+                metrics.sample(network, cycle)
+            if check_invariants and cycle % 100 == 0:
+                network.check_conservation()
+            if stop(cycle):
+                break
+        return cycle
+
     def run(self, check_invariants: bool = False) -> SimResult:
         """Run to the configured horizon and return the result summary.
 
@@ -72,58 +106,25 @@ class Simulator:
         workload = self.workload
         telemetry = self.telemetry
         prof = telemetry.profiler
-        metrics = telemetry.metrics
-        interval = metrics.interval if metrics is not None else 0
         if self.config.max_cycles is None:
+            # Open loop: the drain phase ends early once every measured
+            # packet has been delivered — per-packet latency/energy
+            # statistics then carry no survivor bias (stragglers are fully
+            # counted).
             inject_until = self.config.warmup_cycles + self.config.measure_cycles
             horizon = self.config.total_cycles
-            cycle = 0
-            while cycle < horizon:
-                if prof is None:
-                    workload.tick(cycle, network)
-                    network.step()
-                else:
-                    t0 = perf_counter()
-                    workload.tick(cycle, network)
-                    t1 = perf_counter()
-                    network.step()
-                    t2 = perf_counter()
-                    prof.add("workload.tick", t1 - t0)
-                    prof.add("network.step", t2 - t1)
-                cycle += 1
-                if interval and cycle % interval == 0:
-                    metrics.sample(network, cycle)
-                if check_invariants and cycle % 100 == 0:
-                    network.check_conservation()
-                # The drain phase ends early once every measured packet has
-                # been delivered — per-packet latency/energy statistics then
-                # carry no survivor bias (stragglers are fully counted).
-                if cycle >= inject_until and self.stats.measured_pending == 0:
-                    break
-            final_cycle = cycle
+            final_cycle = self._run_loop(
+                horizon,
+                lambda c: c >= inject_until and self.stats.measured_pending == 0,
+                check_invariants,
+            )
         else:
             horizon = self.config.max_cycles
-            cycle = 0
-            while cycle < horizon:
-                if prof is None:
-                    workload.tick(cycle, network)
-                    network.step()
-                else:
-                    t0 = perf_counter()
-                    workload.tick(cycle, network)
-                    t1 = perf_counter()
-                    network.step()
-                    t2 = perf_counter()
-                    prof.add("workload.tick", t1 - t0)
-                    prof.add("network.step", t2 - t1)
-                cycle += 1
-                if interval and cycle % interval == 0:
-                    metrics.sample(network, cycle)
-                if check_invariants and cycle % 100 == 0:
-                    network.check_conservation()
-                if workload.done() and network.quiescent():
-                    break
-            final_cycle = cycle
+            final_cycle = self._run_loop(
+                horizon,
+                lambda c: workload.done() and network.quiescent(),
+                check_invariants,
+            )
             # For closed-loop runs the window is the whole run, so accepted
             # load reflects the realised throughput.  Every ejection happened
             # in [0, final_cycle), so the recount is exact.

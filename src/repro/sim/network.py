@@ -15,7 +15,7 @@ from ..obs.facade import Telemetry
 from .config import SimConfig
 from .flit import make_packet
 from .link import CreditChannel, Link
-from .ports import OPPOSITE, Port
+from .ports import OPPOSITE
 from .stats import StatsCollector
 from .topology import Mesh
 
@@ -48,6 +48,8 @@ class Network:
         ]
         self.links: List[Link] = []
         self.credit_channels: List[CreditChannel] = []
+        # None on fault-free runs; _apply_faults installs the plan.
+        self.fault_plan: Optional[FaultPlan] = None
         self._wire()
         self._apply_faults()
 
@@ -101,7 +103,7 @@ class Network:
         if self.config.faults.percent <= 0:
             return
         plan = FaultPlan(self.config.faults, self.mesh.num_nodes)
-        self.fault_plan: Optional[FaultPlan] = plan
+        self.fault_plan = plan
         for node in plan.faulty_nodes:
             router = self.routers[node]
             if not hasattr(router, "fault"):

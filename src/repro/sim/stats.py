@@ -10,7 +10,7 @@ invariant checks such as flit conservation).
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields as dataclass_fields
 from typing import Dict, List, Optional
 
 from .flit import Flit
@@ -307,6 +307,14 @@ class SimResult:
     def to_json(self, indent: Optional[int] = None) -> str:
         """Serialise :meth:`to_dict` to a JSON string."""
         return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimResult":
+        """Rebuild a result from :meth:`to_dict` output (derived metrics
+        are dropped and recomputed from the stored fields).  Used by the
+        parallel runner and the on-disk result cache."""
+        names = {f.name for f in dataclass_fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in names})
 
     def summary(self) -> str:
         """One-line human-readable digest."""

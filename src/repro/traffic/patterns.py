@@ -24,6 +24,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from ..registry import PATTERNS, register_pattern
 from ..sim.topology import Mesh
 
 
@@ -74,6 +75,7 @@ def _require_pow2(mesh: Mesh, name: str) -> int:
     return b
 
 
+@register_pattern
 class UniformRandom(TrafficPattern):
     """UR: every other node equally likely."""
 
@@ -92,6 +94,7 @@ class UniformRandom(TrafficPattern):
         return {d: p for d in range(self._n) if d != src}
 
 
+@register_pattern
 class NonUniformRandom(TrafficPattern):
     """NUR: uniform random plus 25% additional traffic aimed at a hot-spot
     group (paper: "injecting 25% additional traffic to a select group of
@@ -127,6 +130,7 @@ class NonUniformRandom(TrafficPattern):
         return w
 
 
+@register_pattern
 class BitReversal(PermutationPattern):
     """BR: destination index is the bit-reversed source index."""
 
@@ -144,6 +148,7 @@ class BitReversal(PermutationPattern):
         return out
 
 
+@register_pattern
 class Butterfly(PermutationPattern):
     """BF: swap the most- and least-significant index bits."""
 
@@ -162,6 +167,7 @@ class Butterfly(PermutationPattern):
         return out
 
 
+@register_pattern
 class Complement(PermutationPattern):
     """CP: destination is the bitwise complement of the source index."""
 
@@ -175,6 +181,7 @@ class Complement(PermutationPattern):
         return ~src & ((1 << self._bits) - 1)
 
 
+@register_pattern
 class MatrixTranspose(PermutationPattern):
     """MT: (x, y) -> (y, x)."""
 
@@ -185,6 +192,7 @@ class MatrixTranspose(PermutationPattern):
         return self.mesh.node_at(y, x)
 
 
+@register_pattern
 class PerfectShuffle(PermutationPattern):
     """PS: rotate the index bits left by one."""
 
@@ -200,6 +208,7 @@ class PerfectShuffle(PermutationPattern):
         return ((src << 1) | (src >> (b - 1))) & mask
 
 
+@register_pattern
 class Neighbor(PermutationPattern):
     """NB: (x, y) -> ((x+1) mod k, y) — nearest-neighbour, minimal load."""
 
@@ -210,6 +219,7 @@ class Neighbor(PermutationPattern):
         return self.mesh.node_at((x + 1) % self.mesh.k, y)
 
 
+@register_pattern
 class Tornado(PermutationPattern):
     """TOR: (x, y) -> ((x + ceil(k/2) - 1) mod k, y) — adversarial for
     rings/meshes, concentrating load on long row paths."""
@@ -222,31 +232,13 @@ class Tornado(PermutationPattern):
         return self.mesh.node_at((x + (k + 1) // 2 - 1) % k, y)
 
 
-_PATTERNS = {
-    cls.name: cls
-    for cls in (
-        UniformRandom,
-        NonUniformRandom,
-        BitReversal,
-        Butterfly,
-        Complement,
-        MatrixTranspose,
-        PerfectShuffle,
-        Neighbor,
-        Tornado,
-    )
-}
-
-
 def make_pattern(name: str, mesh: Mesh) -> TrafficPattern:
-    """Instantiate a pattern by its Section III.A abbreviation."""
-    try:
-        cls = _PATTERNS[name]
-    except KeyError:
-        raise ValueError(f"unknown pattern {name!r}; known: {sorted(_PATTERNS)}")
-    return cls(mesh)
+    """Instantiate a pattern by its Section III.A abbreviation (or any
+    registered plugin pattern name)."""
+    return PATTERNS.get(name)(mesh)
 
 
 def pattern_names() -> tuple:
-    """All nine pattern abbreviations in the paper's plotting order."""
-    return ("UR", "NUR", "BR", "BF", "CP", "MT", "PS", "NB", "TOR")
+    """All registered pattern abbreviations; the paper's nine come first,
+    in its plotting order, followed by any plugin patterns."""
+    return PATTERNS.names()

@@ -103,7 +103,7 @@ def request_sets(draw):
     for inp in range(5):
         lanes = draw(st.sampled_from([(), (BUFFERLESS,), (BUFFERED,), (BUFFERLESS, BUFFERED)]))
         if inp == 4:
-            lanes = tuple(l for l in lanes if l == BUFFERED)  # LOCAL has no incoming lane
+            lanes = tuple(ln for ln in lanes if ln == BUFFERED)  # LOCAL has no incoming lane
         for lane in lanes:
             wants = draw(st.lists(st.integers(0, 4), min_size=1, max_size=5, unique=True))
             fid += 1

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.analysis.scaling import scaling_study
-from repro.analysis.stats import METRICS, Comparison, MetricSummary, compare, replicate
+from repro.analysis.stats import METRICS, compare, replicate
 from repro.sim.config import SimConfig
 
 

@@ -1,0 +1,120 @@
+"""Tests for config serialization: to_dict/from_dict round-trips and the
+stable content hash that keys the result cache."""
+
+import json
+
+import pytest
+
+from repro.sim.config import FaultConfig, SimConfig, TelemetryConfig
+
+
+class TestRoundTrip:
+    def test_default_config(self):
+        cfg = SimConfig()
+        assert SimConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_fully_customised_config(self):
+        cfg = SimConfig(
+            design="unified_wf",
+            k=4,
+            pattern="TOR",
+            offered_load=0.45,
+            packet_size=2,
+            warmup_cycles=100,
+            measure_cycles=300,
+            drain_cycles=50,
+            seed=42,
+            buffer_depth=8,
+            fairness_threshold=2,
+            ejection_ports=2,
+            link_latency=1,
+            faults=FaultConfig(percent=25, detection_cycles=3, seed=7),
+            telemetry=TelemetryConfig(metrics_interval=50, profile=True),
+            max_cycles=9999,
+        )
+        again = SimConfig.from_dict(cfg.to_dict())
+        assert again == cfg
+        assert isinstance(again.faults, FaultConfig)
+        assert isinstance(again.telemetry, TelemetryConfig)
+
+    def test_to_dict_is_json_serialisable(self):
+        cfg = SimConfig(faults=FaultConfig(percent=10))
+        assert SimConfig.from_dict(json.loads(json.dumps(cfg.to_dict()))) == cfg
+
+    def test_nested_configs_become_dicts(self):
+        d = SimConfig().to_dict()
+        assert isinstance(d["faults"], dict)
+        assert isinstance(d["telemetry"], dict)
+
+    def test_fault_config_round_trip(self):
+        fc = FaultConfig(percent=50, granularity="crosspoint", manifest_window=9)
+        assert FaultConfig.from_dict(fc.to_dict()) == fc
+
+    def test_telemetry_config_round_trip(self):
+        tc = TelemetryConfig(trace_path="/tmp/t.jsonl", profile=True)
+        assert TelemetryConfig.from_dict(tc.to_dict()) == tc
+
+
+class TestUnknownKeys:
+    def test_simconfig_rejects_unknown_keys(self):
+        data = SimConfig().to_dict()
+        data["typo_field"] = 1
+        with pytest.raises(ValueError, match="typo_field"):
+            SimConfig.from_dict(data)
+
+    def test_faultconfig_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown FaultConfig"):
+            FaultConfig.from_dict({"percent": 5, "color": "red"})
+
+    def test_telemetryconfig_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown TelemetryConfig"):
+            TelemetryConfig.from_dict({"profiles": True})
+
+    def test_from_dict_still_validates(self):
+        data = SimConfig().to_dict()
+        data["design"] = "not_a_design"
+        with pytest.raises(ValueError, match="unknown design"):
+            SimConfig.from_dict(data)
+
+
+class TestConfigHash:
+    def test_hash_is_stable(self):
+        assert SimConfig().config_hash() == SimConfig().config_hash()
+
+    def test_hash_format(self):
+        h = SimConfig().config_hash()
+        assert len(h) == 16
+        assert int(h, 16) >= 0
+
+    def test_equal_configs_equal_hashes(self):
+        a = SimConfig(design="unified_dor", seed=3)
+        b = SimConfig(design="unified_dor", seed=3)
+        assert a.config_hash() == b.config_hash()
+
+    def test_any_field_change_changes_hash(self):
+        base = SimConfig()
+        variants = [
+            base.with_(seed=2),
+            base.with_(offered_load=0.31),
+            base.with_(design="dxbar_wf"),
+            base.with_(faults=FaultConfig(percent=10)),
+            base.with_(telemetry=TelemetryConfig(profile=True)),
+            base.with_(max_cycles=100_000),
+        ]
+        hashes = {base.config_hash()} | {v.config_hash() for v in variants}
+        assert len(hashes) == len(variants) + 1
+
+    def test_hash_survives_round_trip(self):
+        cfg = SimConfig(design="dxbar_wf", faults=FaultConfig(percent=10))
+        assert SimConfig.from_dict(cfg.to_dict()).config_hash() == cfg.config_hash()
+
+    def test_known_hash_pinned(self):
+        # Guards cross-process / cross-run stability: if this ever changes,
+        # every on-disk cache silently invalidates — bump deliberately.
+        cfg = SimConfig()
+        expected = cfg.config_hash()
+        # Recompute from first principles rather than trusting the method.
+        import hashlib
+
+        payload = json.dumps(cfg.to_dict(), sort_keys=True, separators=(",", ":"))
+        assert hashlib.sha256(payload.encode()).hexdigest()[:16] == expected

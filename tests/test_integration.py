@@ -3,7 +3,7 @@ paper's qualitative claims at small scale."""
 
 import pytest
 
-from tests.conftest import ALL_DESIGNS, make_bench
+from tests.conftest import make_bench
 
 from repro.sim.config import FaultConfig, SimConfig
 from repro.sim.engine import run_simulation

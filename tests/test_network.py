@@ -6,7 +6,7 @@ from tests.conftest import make_bench
 
 from repro.sim.config import FaultConfig, SimConfig
 from repro.sim.network import Network
-from repro.sim.ports import OPPOSITE, Port
+from repro.sim.ports import OPPOSITE
 from repro.sim.stats import StatsCollector
 
 

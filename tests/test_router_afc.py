@@ -1,16 +1,8 @@
 """Behavioural tests for the AFC (adaptive flow control) extension router."""
 
-import pytest
-
 from tests.conftest import make_bench
 
-from repro.routers.afc import (
-    BUFFERED_MODE,
-    BUFFERLESS_MODE,
-    DEFLECT_HI,
-    MODE_WINDOW,
-    AFCRouter,
-)
+from repro.routers.afc import BUFFERED_MODE, BUFFERLESS_MODE, MODE_WINDOW
 from repro.sim.config import SimConfig
 from repro.sim.engine import run_simulation
 

@@ -1,7 +1,5 @@
 """Behavioural tests for the Flit-BLESS deflection router."""
 
-import pytest
-
 from tests.conftest import make_bench
 
 

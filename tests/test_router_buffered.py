@@ -1,10 +1,7 @@
 """Behavioural tests for the Buffered-4 / Buffered-8 baseline routers."""
 
-import pytest
-
 from tests.conftest import make_bench
 
-from repro.sim.ports import Port
 
 
 class TestPipeline:

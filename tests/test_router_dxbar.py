@@ -7,12 +7,9 @@ unobstructed flit travels one hop every 2 cycles and ejects at
 ``2 * hops`` when injected at cycle 0.
 """
 
-import pytest
-
 from tests.conftest import make_bench
 
 from repro.core.faults import PRIMARY, SECONDARY, RouterFault
-from repro.sim.ports import Port
 
 
 class TestZeroLoad:

@@ -1,7 +1,5 @@
 """Behavioural tests for the SCARAB drop/NACK/retransmit router."""
 
-import pytest
-
 from tests.conftest import make_bench
 
 

@@ -8,15 +8,11 @@ twice, buffers never exceed depth, and nothing is duplicated or lost.
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.designs import build_router, build_routing
-from repro.energy.model import EnergyModel
 from repro.sim.config import SimConfig
 from repro.sim.flit import Flit
-from repro.sim.link import Link
 from repro.sim.network import Network
-from repro.sim.ports import OPPOSITE, Port
+from repro.sim.ports import Port
 from repro.sim.stats import StatsCollector
-from repro.sim.topology import Mesh
 
 CENTER = 4  # center of a 3x3 mesh — has all four neighbours
 

@@ -12,7 +12,7 @@ from hypothesis import given, strategies as st
 from repro.routing.adaptive import MinimalAdaptiveRouting
 from repro.routing.dor import DORRouting
 from repro.routing.westfirst import WestFirstRouting
-from repro.sim.ports import DELTA, Port
+from repro.sim.ports import Port
 from repro.sim.topology import Mesh
 
 

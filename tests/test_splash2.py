@@ -11,7 +11,6 @@ from repro.traffic.splash2 import (
     MSHR_ENTRIES,
     SPLASH2_PROFILES,
     AppProfile,
-    Splash2Workload,
     generate_app_trace,
     make_splash2_workload,
     memory_controller_nodes,
@@ -37,9 +36,9 @@ class TestProfiles:
         """Ocean/Radix must stress the network more than Water/Radiosity."""
         for heavy in ("Ocean", "Radix"):
             for light in ("Water", "Radiosity"):
-                h, l = SPLASH2_PROFILES[heavy], SPLASH2_PROFILES[light]
-                assert h.think_mean < l.think_mean
-                assert h.mlp > l.mlp
+                hp, lp = SPLASH2_PROFILES[heavy], SPLASH2_PROFILES[light]
+                assert hp.think_mean < lp.think_mean
+                assert hp.mlp > lp.mlp
 
     def test_unknown_app_rejected(self):
         with pytest.raises(ValueError):

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.sim.ports import DIRECTIONS, OPPOSITE, Port
+from repro.sim.ports import OPPOSITE, Port
 from repro.sim.topology import Mesh
 
 meshes = st.integers(min_value=2, max_value=10).map(Mesh)

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.sim.config import SimConfig
-from repro.sim.engine import Simulator
 from repro.sim.network import Network
 from repro.sim.stats import StatsCollector
 from repro.sim.topology import Mesh
