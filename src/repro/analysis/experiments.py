@@ -119,6 +119,12 @@ def _run_grid(
         cache=_resolve_cache(cache),
         progress=progress,
     )
+    bad = [o for o in outcomes if not o.ok]
+    if bad:
+        raise RuntimeError(
+            "experiment jobs failed terminally: "
+            + "; ".join(f"{o.spec.job_id()}: {o.error}" for o in bad)
+        )
     return [o.result for o in outcomes]
 
 

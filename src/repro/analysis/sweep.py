@@ -29,6 +29,18 @@ def as_cache(cache: CacheLike) -> Optional[ResultCache]:
     return ResultCache(cache)
 
 
+def _results(outcomes) -> List[SimResult]:
+    """Unwrap outcomes, raising when any job failed terminally — a sweep
+    with holes would silently misalign its loads/results columns."""
+    bad = [o for o in outcomes if not o.ok]
+    if bad:
+        raise RuntimeError(
+            "sweep jobs failed terminally: "
+            + "; ".join(f"{o.spec.job_id()}: {o.error}" for o in bad)
+        )
+    return [o.result for o in outcomes]
+
+
 @dataclass
 class SweepResult:
     """All runs of one design across a load grid."""
@@ -58,6 +70,8 @@ def sweep_loads(
     jobs: int = 1,
     cache: CacheLike = None,
     progress=None,
+    checkpoint_every: int = 0,
+    checkpoint_root: Optional[Union[str, Path]] = None,
     **overrides,
 ) -> SweepResult:
     """Run ``design`` at each offered load in ``loads``."""
@@ -66,10 +80,15 @@ def sweep_loads(
         RunSpec(base.with_(design=design, offered_load=load, **overrides))
         for load in loads
     ]
-    outcomes = run_specs(specs, jobs=jobs, cache=as_cache(cache), progress=progress)
-    return SweepResult(
-        design=design, loads=list(loads), results=[o.result for o in outcomes]
+    outcomes = run_specs(
+        specs,
+        jobs=jobs,
+        cache=as_cache(cache),
+        progress=progress,
+        checkpoint_every=checkpoint_every,
+        checkpoint_root=checkpoint_root,
     )
+    return SweepResult(design=design, loads=list(loads), results=_results(outcomes))
 
 
 def sweep_designs(
@@ -80,6 +99,8 @@ def sweep_designs(
     jobs: int = 1,
     cache: CacheLike = None,
     progress=None,
+    checkpoint_every: int = 0,
+    checkpoint_root: Optional[Union[str, Path]] = None,
     **overrides,
 ) -> Dict[str, SweepResult]:
     """Run every design across the same load grid.
@@ -95,13 +116,18 @@ def sweep_designs(
         for d in designs
         for load in loads
     ]
-    outcomes = run_specs(specs, jobs=jobs, cache=as_cache(cache), progress=progress)
+    outcomes = run_specs(
+        specs,
+        jobs=jobs,
+        cache=as_cache(cache),
+        progress=progress,
+        checkpoint_every=checkpoint_every,
+        checkpoint_root=checkpoint_root,
+    )
     out: Dict[str, SweepResult] = {}
     for i, d in enumerate(designs):
         chunk = outcomes[i * len(loads) : (i + 1) * len(loads)]
-        out[d] = SweepResult(
-            design=d, loads=loads, results=[o.result for o in chunk]
-        )
+        out[d] = SweepResult(design=d, loads=loads, results=_results(chunk))
     return out
 
 
@@ -135,7 +161,7 @@ def find_saturation(
 
     def stable(load: float) -> bool:
         spec = RunSpec(base.with_(design=design, offered_load=load, **overrides))
-        r = run_specs([spec], cache=store)[0].result
+        r = _results(run_specs([spec], cache=store))[0]
         return r.accepted_load >= threshold * load
 
     if not stable(lo):

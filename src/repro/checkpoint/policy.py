@@ -1,0 +1,42 @@
+"""Periodic-checkpoint policy.
+
+A :class:`CheckpointPolicy` tells the :class:`~repro.sim.engine.Simulator`
+where and how often to snapshot.  It is deliberately *not* part of
+:class:`~repro.sim.config.SimConfig`: checkpointing never changes what a
+run computes, so it must not change the config hash (job identity, cache
+keys) either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Union
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """Snapshot into ``root`` every ``every`` cycles, keeping the newest
+    ``keep`` files (``keep=0`` keeps everything).
+
+    The default ``keep=2`` survives a crash *during* a checkpoint write
+    twice over: the atomic write already guarantees the newest file is
+    whole, and the previous one stays as a fallback for defence in depth.
+    """
+
+    root: Path = field()
+    every: int = 0
+    keep: int = 2
+
+    def __init__(self, root: Union[str, Path], every: int = 0, keep: int = 2) -> None:
+        if every < 0:
+            raise ValueError("checkpoint interval must be >= 0 (0 = never)")
+        if keep < 0:
+            raise ValueError("keep must be >= 0 (0 = keep all)")
+        object.__setattr__(self, "root", Path(root))
+        object.__setattr__(self, "every", every)
+        object.__setattr__(self, "keep", keep)
+
+    def due(self, cycle: int) -> bool:
+        """True when a periodic snapshot should be taken after ``cycle``."""
+        return self.every > 0 and cycle > 0 and cycle % self.every == 0

@@ -10,10 +10,15 @@ Run as ``python -m repro <command>``:
 
 ``run``, ``sweep`` and ``figure`` accept ``--jobs N`` (process-parallel
 execution through :mod:`repro.runner`) and ``--cache-dir DIR`` (an on-disk
-result cache giving skip-completed/resume semantics).  Design and pattern
-choices come from the plugin registries; set ``REPRO_PLUGINS`` to a
-comma-separated list of importable modules to load out-of-tree designs or
-patterns before the parser is built::
+result cache giving skip-completed/resume semantics).  ``run`` and
+``sweep`` also accept ``--checkpoint-every N`` / ``--checkpoint-dir DIR``
+(periodic mid-run snapshots through :mod:`repro.checkpoint`; the
+directory defaults to ``REPRO_CHECKPOINT_DIR``), and ``run`` accepts
+``--resume-from PATH`` to continue a killed run bit-exactly from its
+latest snapshot.  Design and pattern choices come from the plugin
+registries; set ``REPRO_PLUGINS`` to a comma-separated list of importable
+modules to load out-of-tree designs or patterns before the parser is
+built::
 
     REPRO_PLUGINS=my_designs python -m repro run --design my_dxbar
 
@@ -22,6 +27,8 @@ Examples::
     python -m repro run --design dxbar_dor --pattern UR --load 0.3
     python -m repro run --design dxbar_dor --load 0.1 --json
     python -m repro run --trace events.jsonl --metrics-out metrics.json --profile
+    python -m repro run --checkpoint-every 500 --checkpoint-dir ckpts
+    python -m repro run --resume-from ckpts --json
     python -m repro sweep --designs dxbar_dor buffered8 --loads 0.1 0.3 0.5 --jobs 4
     python -m repro figure fig5 --scale quick --jobs 4 --cache-dir .repro-cache
     python -m repro splash --app Ocean --txns 40
@@ -34,15 +41,18 @@ import importlib
 import json
 import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .analysis.experiments import ALL_EXPERIMENTS, SCALES
 from .analysis.report import render_figure, render_table
 from .analysis.sweep import as_cache, sweep_designs
+from .checkpoint import CheckpointError, CheckpointPolicy
 from .designs import DESIGN_LABELS, PAPER_DESIGNS
 from .registry import design_names, pattern_names
 from .runner import RunSpec, run_specs
 from .sim.config import FaultConfig, SimConfig, TelemetryConfig
+from .sim.engine import Simulator
 from .sim.topology import Mesh
 from .traffic.splash2 import generate_app_trace, splash2_app_names
 
@@ -79,6 +89,26 @@ def _add_runner_args(p: argparse.ArgumentParser) -> None:
         "--cache-dir", metavar="DIR", default=None,
         help="config-hash-keyed result cache; completed runs are skipped",
     )
+
+
+def _add_checkpoint_args(p: argparse.ArgumentParser, resume: bool = False) -> None:
+    g = p.add_argument_group("checkpointing (repro.checkpoint)")
+    g.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="snapshot full simulator state every N cycles (0 = off)",
+    )
+    g.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        default=os.environ.get("REPRO_CHECKPOINT_DIR") or None,
+        help="where snapshots go (default: $REPRO_CHECKPOINT_DIR); for "
+             "sweeps each job gets a subdirectory keyed by its job id",
+    )
+    if resume:
+        g.add_argument(
+            "--resume-from", metavar="PATH", default=None,
+            help="resume bit-exactly from a checkpoint file, or from the "
+                 "newest checkpoint under a directory",
+        )
 
 
 def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
@@ -131,11 +161,44 @@ def _config_from(args) -> SimConfig:
     )
 
 
+def _resume_simulator(args) -> Simulator:
+    """Rebuild a mid-run simulator from ``--resume-from`` (a checkpoint
+    file or a directory holding them), re-arming periodic checkpointing
+    when ``--checkpoint-every`` is also given."""
+    path = Path(args.resume_from)
+    policy = None
+    if args.checkpoint_every > 0:
+        root = (
+            Path(args.checkpoint_dir)
+            if args.checkpoint_dir
+            else (path if path.is_dir() else path.parent)
+        )
+        policy = CheckpointPolicy(root, every=args.checkpoint_every)
+    try:
+        return Simulator.resume_from(path, checkpoint=policy)
+    except CheckpointError as exc:
+        raise SystemExit(f"repro run: {exc}")
+
+
 def cmd_run(args) -> int:
-    outcome = run_specs(
-        [RunSpec(_config_from(args))], cache=as_cache(args.cache_dir)
-    )[0]
-    result = outcome.result
+    if args.resume_from:
+        sim = _resume_simulator(args)
+        config = sim.config
+        result = sim.run()
+        cached = False
+    else:
+        config = _config_from(args)
+        outcome = run_specs(
+            [RunSpec(config)],
+            cache=as_cache(args.cache_dir),
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_root=args.checkpoint_dir,
+        )[0]
+        if not outcome.ok:
+            print(f"repro run: job failed: {outcome.error}", file=sys.stderr)
+            return 1
+        result = outcome.result
+        cached = outcome.cached
     if args.json:
         print(result.to_json())
         return 0
@@ -151,8 +214,9 @@ def cmd_run(args) -> int:
         ["retransmissions", result.retransmissions],
         ["fairness flips", result.fairness_flips],
     ]
-    suffix = " (cached)" if outcome.cached else ""
-    print(f"{DESIGN_LABELS[args.design]} | {args.pattern} @ {args.load}{suffix}")
+    suffix = " (cached)" if cached else ""
+    label = DESIGN_LABELS.get(config.design, config.design)
+    print(f"{label} | {config.pattern} @ {config.offered_load}{suffix}")
     print(render_table(["metric", "value"], rows))
     profile = result.extra.get("profile")
     if profile:
@@ -173,6 +237,8 @@ def cmd_sweep(args) -> int:
         base=base,
         jobs=args.jobs,
         cache=as_cache(args.cache_dir),
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_root=args.checkpoint_dir,
     )
     if args.json:
         payload = {
@@ -271,6 +337,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="run one simulation")
     _add_sim_args(p)
     _add_runner_args(p)
+    _add_checkpoint_args(p, resume=True)
     _add_telemetry_args(p)
     p.add_argument("--json", action="store_true",
                    help="print the SimResult as one JSON object")
@@ -279,6 +346,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="offered-load sweep")
     _add_sim_args(p)
     _add_runner_args(p)
+    _add_checkpoint_args(p)
     p.add_argument("--designs", nargs="+", default=["dxbar_dor", "buffered4"],
                    choices=design_names())
     p.add_argument("--loads", nargs="+", type=float, default=[0.1, 0.3, 0.5])

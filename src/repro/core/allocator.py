@@ -106,6 +106,22 @@ class SeparableDualAllocator:
         self.swaps_total += swaps
         return grants, swaps
 
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "output_arbs": [a.state_dict() for a in self._output_arbs],
+            "swaps_total": self.swaps_total,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if len(state["output_arbs"]) != len(self._output_arbs):
+            raise ValueError("allocator checkpoint has wrong arbiter count")
+        for arb, s in zip(self._output_arbs, state["output_arbs"]):
+            arb.load_state_dict(s)
+        self.swaps_total = state["swaps_total"]
+
     @staticmethod
     def _other(lane: str) -> str:
         return BUFFERED if lane == BUFFERLESS else BUFFERLESS

@@ -50,6 +50,12 @@ class RoundRobinArbiter:
     def peek_pointer(self) -> int:
         return self._ptr
 
+    def state_dict(self) -> dict:
+        return {"ptr": self._ptr}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._ptr = state["ptr"]
+
 
 class MatrixArbiter:
     """Least-recently-served arbiter.
@@ -83,6 +89,12 @@ class MatrixArbiter:
                 return i
         # A well-formed matrix always has a unique maximum.
         raise AssertionError("matrix arbiter found no winner")  # pragma: no cover
+
+    def state_dict(self) -> dict:
+        return {"w": [list(row) for row in self._w]}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._w = [list(row) for row in state["w"]]
 
 
 def oldest_first(flits: Sequence[Flit]) -> List[Flit]:

@@ -61,3 +61,17 @@ class FlitFIFO:
     def pop(self) -> Flit:
         """Remove and return the head flit."""
         return self._q.popleft()
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {"flits": [f.to_dict() for f in self._q]}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the queue contents in order.  Appends directly so a
+        snapshot taken during a transient ``force_push`` overfill restores
+        beyond ``depth`` exactly as it was."""
+        self._q.clear()
+        for d in state["flits"]:
+            self._q.append(Flit.from_dict(d))

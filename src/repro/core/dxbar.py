@@ -456,3 +456,23 @@ class DXbarRouter(BaseRouter):
     # ------------------------------------------------------------------
     def occupancy(self) -> int:
         return sum(len(f) for f in self.fifos.values())
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["fifos"] = {port.name: fifo.state_dict() for port, fifo in self.fifos.items()}
+        state["fairness"] = self.fairness.state_dict()
+        # ``fault`` is reattached from the deterministically rebuilt
+        # FaultPlan; only the reconfiguration latch is genuine state.
+        state["reconfigured"] = self.reconfigured
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        # FIFOs are loaded in place: _fifo_list aliases fifos.values().
+        for name, s in state["fifos"].items():
+            self.fifos[Port[name]].load_state_dict(s)
+        self.fairness.load_state_dict(state["fairness"])
+        self.reconfigured = state["reconfigured"]

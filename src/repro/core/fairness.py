@@ -52,3 +52,12 @@ class FairnessCounter:
         self.count = 0
         if self.on_flip is not None:
             self.on_flip(self.flips)
+
+    def state_dict(self) -> dict:
+        # on_flip is a live observability hook, rewired by the telemetry
+        # layer on resume — never serialised.
+        return {"count": self.count, "flips": self.flips}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.count = state["count"]
+        self.flips = state["flips"]

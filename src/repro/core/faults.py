@@ -156,5 +156,12 @@ class FaultPlan:
     def faulty_nodes(self) -> tuple:
         return tuple(sorted(self._faults))
 
+    def signature(self) -> Dict[str, dict]:
+        """JSON-able fingerprint of the whole plan.  The plan is rebuilt
+        deterministically from :class:`FaultConfig` on resume; a checkpoint
+        stores this signature so a drifted rebuild (e.g. a numpy behaviour
+        change) is detected instead of silently diverging."""
+        return {str(node): fault.as_event() for node, fault in sorted(self._faults.items())}
+
     def __len__(self) -> int:
         return len(self._faults)

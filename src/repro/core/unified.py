@@ -226,6 +226,18 @@ class UnifiedRouter(DXbarRouter):
         cands = self._candidates(flit)
         return all(c == fault.output_port for c in cands)
 
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["allocator"] = self.allocator.state_dict()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.allocator.load_state_dict(state["allocator"])
+
     def _misroute_wants(self, outputs_used: set, in_port: Port) -> Tuple[Port, ...]:
         """Live direction ports usable for a crosspoint-forced misroute.
 

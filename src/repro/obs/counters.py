@@ -47,6 +47,11 @@ class RouterCounters:
         """Freeze the current values into a plain dict."""
         return {name: getattr(self, name) for name in COUNTER_FIELDS}
 
+    def load(self, values: Dict[str, int]) -> None:
+        """Restore from a :meth:`snapshot` dict (checkpoint restore)."""
+        for name in COUNTER_FIELDS:
+            setattr(self, name, values.get(name, 0))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         nonzero = {k: v for k, v in self.snapshot().items() if v}
         return f"RouterCounters({nonzero})"

@@ -69,6 +69,20 @@ class Telemetry:
             or self.profiler is not None
         )
 
+    def state_dict(self) -> dict:
+        """Interval metrics are the only checkpointed telemetry layer: the
+        JSONL trace sink and the wall-clock profiler are append-only /
+        non-deterministic side channels and simply restart on resume (the
+        documented caveat — bit-exact resume covers the ``SimResult`` and
+        the metrics frame, not trace files)."""
+        return {
+            "metrics": self.metrics.state_dict() if self.metrics is not None else None
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if self.metrics is not None and state.get("metrics") is not None:
+            self.metrics.load_state_dict(state["metrics"])
+
     def finish(self, network, final_cycle: int) -> None:
         """End-of-run hook: flush the trailing metrics interval, persist
         the metrics frame if a path was configured, close the trace sink.

@@ -195,6 +195,23 @@ class IntervalMetrics:
         self.sample(network, cycle)
 
     # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "columns": {name: list(vals) for name, vals in self.columns.items()},
+            "last": self._last,
+            "last_cycle": self._last_cycle,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if set(state["columns"]) != set(self.columns):
+            raise ValueError("metrics checkpoint has a different column set")
+        self.columns = {name: list(vals) for name, vals in state["columns"].items()}
+        self._last = state["last"]
+        self._last_cycle = state["last_cycle"]
+
+    # ------------------------------------------------------------------
     def frame(self) -> MetricsFrame:
         return MetricsFrame(self.interval, self.k, self.columns)
 

@@ -232,3 +232,24 @@ class AFCRouter(BaseRouter):
     # ------------------------------------------------------------------
     def occupancy(self) -> int:
         return sum(len(f) for f in self.fifos.values())
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["fifos"] = {port.name: fifo.state_dict() for port, fifo in self.fifos.items()}
+        state["mode"] = self.mode
+        state["mode_switches"] = self.mode_switches
+        state["window_deflections"] = self._window_deflections
+        state["window_incoming"] = self._window_incoming
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        for name, s in state["fifos"].items():
+            self.fifos[Port[name]].load_state_dict(s)
+        self.mode = state["mode"]
+        self.mode_switches = state["mode_switches"]
+        self._window_deflections = state["window_deflections"]
+        self._window_incoming = state["window_incoming"]

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections import deque
-from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ..energy.model import EnergyModel
 from ..obs.counters import RouterCounters
@@ -180,6 +180,28 @@ class BaseRouter(ABC):
             self.stats.per_node_entries[self.node] += 1
             if self.trace is not None:
                 self.trace.emit(cycle, EV_ROUTE, self.node, flit)
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Snapshot the design-independent mutable state.  Subclasses
+        extend the dict; derived wiring (links, routing, energy) and the
+        transient ``incoming`` list (dead at the end-of-cycle snapshot
+        point — the next ``latch`` clears it) are not serialised."""
+        return {
+            "inj_queue": [f.to_dict() for f in self.inj_queue],
+            "credits": {port.name: c for port, c in self.credits.items()},
+            "counters": self.counters.snapshot(),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self.inj_queue.clear()
+        self.inj_queue.extend(Flit.from_dict(d) for d in state["inj_queue"])
+        for name, c in state["credits"].items():
+            self.credits[Port[name]] = c
+        self.counters.load(state["counters"])
+        self.incoming.clear()
 
     # ------------------------------------------------------------------
     # introspection (tests / draining)

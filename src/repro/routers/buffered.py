@@ -176,6 +176,32 @@ class BufferedRouter(BaseRouter):
     def occupancy(self) -> int:
         return sum(len(b) for banks in self.fifos.values() for b in banks)
 
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["fifos"] = {
+            port.name: [bank.state_dict() for bank in banks]
+            for port, banks in self.fifos.items()
+        }
+        state["output_arbs"] = {p.name: a.state_dict() for p, a in self._output_arbs.items()}
+        state["input_arbs"] = {p.name: a.state_dict() for p, a in self._input_arbs.items()}
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        for name, bank_states in state["fifos"].items():
+            banks = self.fifos[Port[name]]
+            if len(bank_states) != len(banks):
+                raise ValueError("checkpoint FIFO bank count does not match design")
+            for bank, s in zip(banks, bank_states):
+                bank.load_state_dict(s)
+        for name, s in state["output_arbs"].items():
+            self._output_arbs[Port[name]].load_state_dict(s)
+        for name, s in state["input_arbs"].items():
+            self._input_arbs[Port[name]].load_state_dict(s)
+
 
 class Buffered4Router(BufferedRouter):
     """The paper's "Buffered 4": one 4-flit FIFO per input."""

@@ -133,5 +133,24 @@ class ScarabRouter(BaseRouter):
         self.send(candidate, port, cycle)
 
     # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        # The heap's list layout is a valid heap; serialise it verbatim.
+        state["retx"] = [[ready, seq, flit.to_dict()] for ready, seq, flit in self._retx]
+        state["retx_seq"] = self._retx_seq
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        # Entries must be tuples: heappush on a mix of lists and tuples
+        # would compare them and raise.
+        self._retx = [
+            (ready, seq, Flit.from_dict(d)) for ready, seq, d in state["retx"]
+        ]
+        self._retx_seq = state["retx_seq"]
+
+    # ------------------------------------------------------------------
     def pending_flits(self) -> int:
         return len(self._retx) + len(self.inj_queue)

@@ -16,6 +16,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
@@ -32,6 +33,7 @@ class ResultCache:
         self._mem: Dict[str, Dict[str, Any]] = {}
         self.hits = 0
         self.misses = 0
+        self._warned_corrupt = False
 
     # ------------------------------------------------------------------
     def _path(self, job_id: str) -> Path:
@@ -54,7 +56,17 @@ class ResultCache:
             try:
                 with open(path, "r", encoding="utf-8") as fh:
                     payload = json.load(fh)
-            except (OSError, json.JSONDecodeError):
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                # Corrupt/truncated entry (e.g. a crash mid-write on a
+                # filesystem without atomic rename).  Left in place it
+                # would be re-parsed — and silently re-missed — by every
+                # fresh process; quarantine it instead.
+                self._quarantine(path)
+                return None
+            except OSError:
+                return None
+            if not isinstance(payload, dict):
+                self._quarantine(path)
                 return None
             self._mem[job_id] = payload
         if payload is None:
@@ -62,6 +74,23 @@ class ResultCache:
         if payload.get("identity") != self._identity(spec):
             return None  # hash collision or stale schema: treat as a miss
         return payload
+
+    def _quarantine(self, path: Path) -> None:
+        """Rename a corrupt entry to ``<job_id>.json.corrupt`` so it stops
+        shadowing the key, and warn once per cache instance."""
+        target = path.with_name(path.name + ".corrupt")
+        try:
+            path.replace(target)
+        except OSError:
+            return  # a concurrent process already moved/removed it
+        if not self._warned_corrupt:
+            self._warned_corrupt = True
+            warnings.warn(
+                f"result cache entry {path.name} was corrupt; quarantined "
+                f"as {target.name} (the job will be re-run)",
+                RuntimeWarning,
+                stacklevel=4,
+            )
 
     # ------------------------------------------------------------------
     def get(self, spec: RunSpec) -> Optional[Dict[str, Any]]:

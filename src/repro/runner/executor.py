@@ -12,20 +12,38 @@ per-figure experiment drivers and the CLI.  Guarantees:
 * **Resume** — with a :class:`~repro.runner.cache.ResultCache`, completed
   jobs are skipped (a cache hit never re-simulates) and fresh results are
   written back, so an interrupted campaign continues where it stopped.
+* **Fault tolerance** — a job that raises, times out or loses its worker
+  process is retried up to ``retries`` times (exponential backoff between
+  rounds) instead of aborting the campaign; with a ``checkpoint_root``
+  each attempt snapshots every ``checkpoint_every`` cycles into the job's
+  own directory and a retry resumes from the last snapshot rather than
+  from cycle zero.  A job that exhausts its retries surfaces as a
+  :class:`RunOutcome` with ``error`` set (and ``result`` None); other jobs
+  complete normally.
 
-Workers receive jobs as plain dicts (``RunSpec.describe()``), which keeps
-the process boundary free of pickling surprises; plugin modules named in
-``plugins`` are imported in each worker before any job runs so that
-out-of-tree registry entries resolve under the ``spawn`` start method too.
+Workers receive jobs as plain dicts (``RunSpec.describe()`` wrapped with
+the execution options), which keeps the process boundary free of pickling
+surprises; plugin modules named in ``plugins`` are imported in each worker
+before any job runs so that out-of-tree registry entries resolve under the
+``spawn`` start method too.
 """
 
 from __future__ import annotations
 
 import importlib
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
+from ..checkpoint.format import CheckpointError, list_checkpoints
+from ..checkpoint.policy import CheckpointPolicy
 from ..sim.config import SimConfig
 from ..sim.engine import Simulator
 from ..sim.stats import SimResult
@@ -35,24 +53,66 @@ from .spec import RunSpec, materialize_workload
 #: Progress callback signature: ``progress(done, total, outcome)``.
 ProgressFn = Callable[[int, int, "RunOutcome"], None]
 
+#: Ceiling on one backoff sleep, seconds.
+_MAX_BACKOFF = 30.0
+
 
 @dataclass(frozen=True)
 class RunOutcome:
-    """One finished job: its spec, result and provenance."""
+    """One finished job: its spec, result (or terminal error) and
+    provenance.
+
+    Exactly one of ``result``/``error`` is meaningful: a successful job
+    has ``result`` set and ``error`` None; a job that exhausted its
+    retries has ``error`` set (a ``"ExcType: message"`` string) and
+    ``result`` None.  ``attempts`` counts executions charged to the job
+    (cache hits keep the default 0).
+    """
 
     spec: RunSpec
-    result: SimResult
+    result: Optional[SimResult]
     cached: bool = False
+    error: Optional[str] = None
+    attempts: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.result is not None
 
     @property
     def config(self) -> SimConfig:
         return self.spec.config
 
 
-def execute_spec(spec: RunSpec, check_invariants: bool = False) -> SimResult:
-    """Run one job in this process and return its result."""
+def execute_spec(
+    spec: RunSpec,
+    check_invariants: bool = False,
+    *,
+    checkpoint_every: int = 0,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+) -> SimResult:
+    """Run one job in this process and return its result.
+
+    With ``checkpoint_dir`` the run snapshots every ``checkpoint_every``
+    cycles (0 = never) into that directory — and first tries to *resume*
+    from the newest readable checkpoint already there, which is what turns
+    a retry of a crashed attempt into a continuation instead of a restart.
+    """
     workload = materialize_workload(spec.workload, spec.config)
-    sim = Simulator(spec.config, workload=workload)
+    policy = None
+    if checkpoint_dir is not None:
+        policy = CheckpointPolicy(checkpoint_dir, every=checkpoint_every)
+        for path in reversed(list_checkpoints(policy.root)):
+            try:
+                sim = Simulator.resume_from(
+                    path, config=spec.config, workload=workload, checkpoint=policy
+                )
+            except CheckpointError:
+                continue  # torn/foreign snapshot: try the next-oldest
+            sim.workload_spec = dict(spec.workload) if spec.workload else None
+            return sim.run(check_invariants=check_invariants)
+    sim = Simulator(spec.config, workload=workload, checkpoint=policy)
+    sim.workload_spec = dict(spec.workload) if spec.workload else None
     return sim.run(check_invariants=check_invariants)
 
 
@@ -65,8 +125,44 @@ def _init_worker(plugins: Tuple[str, ...]) -> None:
 
 
 def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
-    spec = RunSpec.from_dict(payload)
-    return execute_spec(spec).to_dict()
+    spec = RunSpec.from_dict(payload["spec"])
+    return execute_spec(
+        spec,
+        check_invariants=payload.get("check_invariants", False),
+        checkpoint_every=payload.get("checkpoint_every", 0),
+        checkpoint_dir=payload.get("checkpoint_dir"),
+    ).to_dict()
+
+
+# ----------------------------------------------------------------------
+# failure-handling helpers
+# ----------------------------------------------------------------------
+def _describe_error(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _sleep_backoff(base: float, attempt: int) -> None:
+    """Exponential backoff: ``base * 2**(attempt-1)`` seconds, capped."""
+    if base > 0 and attempt > 0:
+        time.sleep(min(_MAX_BACKOFF, base * 2 ** (attempt - 1)))
+
+
+def _kill_pool_processes(pool: ProcessPoolExecutor) -> None:
+    """Best-effort preemption of a pool whose job overran its timeout.
+
+    ``concurrent.futures`` has no per-task cancel once a task is running,
+    so the only lever is killing the worker processes; the pool then
+    reports BrokenProcessPool for every in-flight future and the caller
+    sorts out who gets charged an attempt.  ``_processes`` is internal
+    API, hence the defensive getattr — if it moves, timeouts degrade to
+    "wait for the job" rather than crashing the campaign.
+    """
+    procs = getattr(pool, "_processes", None) or {}
+    for proc in list(procs.values()):
+        try:
+            proc.kill()
+        except Exception:
+            pass
 
 
 # ----------------------------------------------------------------------
@@ -78,6 +174,11 @@ def run_specs(
     progress: Optional[ProgressFn] = None,
     plugins: Iterable[str] = (),
     check_invariants: bool = False,
+    retries: int = 2,
+    retry_backoff: float = 0.5,
+    job_timeout: Optional[float] = None,
+    checkpoint_every: int = 0,
+    checkpoint_root: Optional[Union[str, Path]] = None,
 ) -> List[RunOutcome]:
     """Execute ``specs`` and return their outcomes in spec order.
 
@@ -86,10 +187,22 @@ def run_specs(
     workers.  ``cache`` enables skip-completed/resume semantics.
     ``progress`` is called after every job (cached ones included) with the
     running completion count.
+
+    Fault tolerance: each failing job is retried up to ``retries`` extra
+    times with ``retry_backoff``-seeded exponential backoff between
+    rounds.  ``job_timeout`` (seconds, parallel mode) preempts a stuck
+    attempt by killing the worker pool; the victim is charged an attempt,
+    innocent in-flight jobs are not.  With ``checkpoint_root``, each job
+    checkpoints every ``checkpoint_every`` cycles under
+    ``<root>/<job_id>/`` and retries resume from the last snapshot.
+    Terminal failures come back as outcomes with ``error`` set; they are
+    never written to the cache.
     """
     specs = list(specs)
     if jobs < 0:
         raise ValueError("jobs must be >= 0 (0/1 both mean serial)")
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
     plugins = tuple(plugins)
     total = len(specs)
     outcomes: List[Optional[RunOutcome]] = [None] * total
@@ -113,34 +226,182 @@ def run_specs(
         else:
             pending.setdefault(spec.job_id(), []).append(i)
 
-    def _finish(indexes: List[int], result: SimResult) -> None:
+    def _ckpt_dir(key: str) -> Optional[str]:
+        if checkpoint_root is None:
+            return None
+        return str(specs[pending[key][0]].checkpoint_dir(checkpoint_root))
+
+    def _finish(indexes: List[int], result: SimResult, attempts: int) -> None:
         if cache is not None:
             cache.put(specs[indexes[0]], result.to_dict())
         for j, i in enumerate(indexes):
-            outcomes[i] = RunOutcome(spec=specs[i], result=result, cached=j > 0)
+            outcomes[i] = RunOutcome(
+                spec=specs[i], result=result, cached=j > 0, attempts=attempts
+            )
+            _report(outcomes[i])
+
+    def _fail(indexes: List[int], error: str, attempts: int) -> None:
+        for i in indexes:
+            outcomes[i] = RunOutcome(
+                spec=specs[i], result=None, error=error, attempts=attempts
+            )
             _report(outcomes[i])
 
     if jobs <= 1 or len(pending) <= 1:
-        for indexes in pending.values():
-            result = execute_spec(specs[indexes[0]], check_invariants=check_invariants)
-            _finish(indexes, result)
+        for key, indexes in pending.items():
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    result = execute_spec(
+                        specs[indexes[0]],
+                        check_invariants=check_invariants,
+                        checkpoint_every=checkpoint_every,
+                        checkpoint_dir=_ckpt_dir(key),
+                    )
+                except Exception as exc:
+                    if attempt > retries:
+                        _fail(indexes, _describe_error(exc), attempt)
+                        break
+                    _sleep_backoff(retry_backoff, attempt)
+                    # execute_spec resumes from this job's checkpoints.
+                else:
+                    _finish(indexes, result, attempt)
+                    break
     else:
-        workers = min(jobs, len(pending))
-        with ProcessPoolExecutor(
-            max_workers=workers, initializer=_init_worker, initargs=(plugins,)
-        ) as pool:
-            futures = {
-                pool.submit(_execute_payload, specs[indexes[0]].describe()): indexes
-                for indexes in pending.values()
-            }
-            remaining = set(futures)
-            while remaining:
-                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for fut in finished:
-                    # .result() re-raises worker errors in the parent.
-                    _finish(futures[fut], SimResult.from_dict(fut.result()))
+        _run_parallel(
+            specs,
+            pending,
+            jobs=jobs,
+            plugins=plugins,
+            check_invariants=check_invariants,
+            retries=retries,
+            retry_backoff=retry_backoff,
+            job_timeout=job_timeout,
+            checkpoint_every=checkpoint_every,
+            ckpt_dir=_ckpt_dir,
+            finish=_finish,
+            fail=_fail,
+        )
 
     return [o for o in outcomes if o is not None]
+
+
+def _run_parallel(
+    specs: List[RunSpec],
+    pending: Dict[str, List[int]],
+    *,
+    jobs: int,
+    plugins: Tuple[str, ...],
+    check_invariants: bool,
+    retries: int,
+    retry_backoff: float,
+    job_timeout: Optional[float],
+    checkpoint_every: int,
+    ckpt_dir: Callable[[str], Optional[str]],
+    finish: Callable[[List[int], SimResult, int], None],
+    fail: Callable[[List[int], str, int], None],
+) -> None:
+    """Round-based fault-tolerant fan-out.
+
+    Each round submits every still-unfinished job to a fresh pool (a pool
+    that lost a worker is broken for good, so reuse is not an option),
+    harvests completions, and carries failures into the next round until
+    they succeed or exhaust their attempts.  Bounded: every round charges
+    at least one attempt to at least one unfinished job.
+    """
+    jobs_left: Dict[str, List[int]] = dict(pending)
+    attempts: Dict[str, int] = {key: 0 for key in jobs_left}
+    round_no = 0
+
+    while jobs_left:
+        round_no += 1
+        if round_no > 1:
+            _sleep_backoff(retry_backoff, round_no - 1)
+        workers = min(jobs, len(jobs_left))
+        pool = ProcessPoolExecutor(
+            max_workers=workers, initializer=_init_worker, initargs=(plugins,)
+        )
+        futures: Dict[Any, str] = {}
+        deadlines: Dict[Any, float] = {}
+        timed_out: Set[str] = set()
+        try:
+            for key, indexes in jobs_left.items():
+                attempts[key] += 1
+                payload = {
+                    "spec": specs[indexes[0]].describe(),
+                    "check_invariants": check_invariants,
+                    "checkpoint_every": checkpoint_every,
+                    "checkpoint_dir": ckpt_dir(key),
+                }
+                fut = pool.submit(_execute_payload, payload)
+                futures[fut] = key
+                if job_timeout is not None:
+                    deadlines[fut] = time.monotonic() + job_timeout
+            remaining = set(futures)
+            while remaining:
+                if job_timeout is not None:
+                    tick = max(
+                        0.05,
+                        min(deadlines[f] for f in remaining) - time.monotonic(),
+                    )
+                    finished, remaining = wait(
+                        remaining, timeout=tick, return_when=FIRST_COMPLETED
+                    )
+                    if not finished:
+                        now = time.monotonic()
+                        overdue = {f for f in remaining if deadlines[f] <= now}
+                        if overdue:
+                            timed_out.update(futures[f] for f in overdue)
+                            # No per-task cancel exists: kill the workers.
+                            # The pool breaks; the except-clause below
+                            # settles the books.
+                            _kill_pool_processes(pool)
+                        continue
+                else:
+                    finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for fut in finished:
+                    key = futures[fut]
+                    try:
+                        result = SimResult.from_dict(fut.result())
+                    except BrokenExecutor:
+                        raise  # the whole pool is gone, not just this job
+                    except Exception as exc:
+                        if attempts[key] > retries:
+                            fail(jobs_left.pop(key), _describe_error(exc), attempts[key])
+                        # else: stays in jobs_left for the next round
+                    else:
+                        finish(jobs_left.pop(key), result, attempts[key])
+        except BrokenExecutor:
+            # The pool died mid-round — either we killed it to preempt a
+            # timed-out job, or a worker crashed / was externally killed.
+            unfinished = [key for key in futures.values() if key in jobs_left]
+            if timed_out:
+                # We initiated the kill: the timed-out jobs own the
+                # failure; innocent in-flight jobs get their attempt back.
+                for key in unfinished:
+                    if key in timed_out:
+                        if attempts[key] > retries:
+                            fail(
+                                jobs_left.pop(key),
+                                f"TimeoutError: job exceeded job_timeout={job_timeout}s",
+                                attempts[key],
+                            )
+                    else:
+                        attempts[key] -= 1
+            else:
+                # External death: no way to tell whose worker died, so the
+                # attempt is charged to every unfinished job (retries stay
+                # bounded either way).
+                for key in unfinished:
+                    if attempts[key] > retries:
+                        fail(
+                            jobs_left.pop(key),
+                            "BrokenProcessPool: worker died (crash or external kill)",
+                            attempts[key],
+                        )
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
 
 
 def run_configs(
@@ -151,7 +412,11 @@ def run_configs(
     progress: Optional[ProgressFn] = None,
     plugins: Iterable[str] = (),
 ) -> List[SimResult]:
-    """Convenience wrapper: run bare configs, return just the results."""
+    """Convenience wrapper: run bare configs, return just the results.
+
+    Raises ``RuntimeError`` when any job failed terminally (callers of
+    this wrapper have no way to inspect per-job errors).
+    """
     outcomes = run_specs(
         [RunSpec(config=c) for c in configs],
         jobs=jobs,
@@ -159,4 +424,7 @@ def run_configs(
         progress=progress,
         plugins=plugins,
     )
+    errors = [f"{o.spec.job_id()}: {o.error}" for o in outcomes if not o.ok]
+    if errors:
+        raise RuntimeError("jobs failed terminally: " + "; ".join(errors))
     return [o.result for o in outcomes]

@@ -18,7 +18,8 @@ import hashlib
 import json
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Any, Dict, Mapping, Optional, Tuple
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from ..registry import WORKLOADS, register_workload
 from ..sim.config import SimConfig
@@ -71,6 +72,12 @@ class RunSpec:
             separators=(",", ":"),
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def checkpoint_dir(self, root: Union[str, Path]) -> Path:
+        """The per-job checkpoint directory under a campaign-wide root:
+        keyed by job id, so retried/resumed executions of the same job find
+        each other's snapshots and distinct jobs never collide."""
+        return Path(root) / self.job_id()
 
     def describe(self) -> Dict[str, Any]:
         """JSON-able identity of the job (stored alongside cached results

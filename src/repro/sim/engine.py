@@ -17,9 +17,20 @@ the routers' uniform ``telemetry_counters()`` dicts into the result.
 
 from __future__ import annotations
 
+from pathlib import Path
 from time import perf_counter
-from typing import Dict, Optional
+from typing import Any, Dict, Optional, Union
 
+from ..checkpoint.format import (
+    CheckpointError,
+    checkpoint_path,
+    latest_checkpoint,
+    prune_checkpoints,
+    read_checkpoint,
+    verify_identity,
+    write_checkpoint,
+)
+from ..checkpoint.policy import CheckpointPolicy
 from ..obs.counters import merge_counters
 from ..obs.facade import Telemetry
 from ..traffic.generator import BernoulliSynthetic, Workload
@@ -37,8 +48,13 @@ class Simulator:
         config: SimConfig,
         workload: Optional[Workload] = None,
         telemetry: Optional[Telemetry] = None,
+        checkpoint: Optional[CheckpointPolicy] = None,
     ) -> None:
         self.config = config
+        self.checkpoint = checkpoint
+        # Workload *spec* dict stored in checkpoints for provenance (set by
+        # the runner for spec-built workloads; None for plain Bernoulli).
+        self.workload_spec: Optional[Dict[str, Any]] = None
         self.stats = StatsCollector(config.num_nodes)
         self.stats.set_window(
             config.warmup_cycles, config.warmup_cycles + config.measure_cycles
@@ -68,13 +84,20 @@ class Simulator:
 
         Shared by the open- and closed-loop modes, which differ only in
         their horizon and early-exit condition.
+
+        Periodic checkpoints are taken *after* the stop check: a checkpoint
+        at cycle ``k`` therefore implies the uninterrupted run continued
+        past ``k``, so a resume never executes a cycle the original run
+        skipped — the ordering the bit-exactness guarantee rests on.
         """
         network = self.network
         workload = self.workload
         prof = self.telemetry.profiler
         metrics = self.telemetry.metrics
         interval = metrics.interval if metrics is not None else 0
-        cycle = 0
+        policy = self.checkpoint
+        # Resumed simulators enter mid-run; fresh ones at cycle 0.
+        cycle = network.cycle
         while cycle < horizon:
             if prof is None:
                 workload.tick(cycle, network)
@@ -94,6 +117,8 @@ class Simulator:
                 network.check_conservation()
             if stop(cycle):
                 break
+            if policy is not None and policy.due(cycle):
+                self.save_checkpoint()
         return cycle
 
     def run(self, check_invariants: bool = False) -> SimResult:
@@ -163,6 +188,85 @@ class Simulator:
             # SimResult itself is frozen, its extra dict is not).
             result.extra["profile"] = prof.report()
         return result
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """The full simulator state tree at the end-of-cycle boundary."""
+        return {
+            "network": self.network.state_dict(),
+            "stats": self.stats.state_dict(),
+            "workload": self.workload.state_dict(),
+            "telemetry": self.telemetry.state_dict(),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self.network.load_state_dict(state["network"])
+        self.stats.load_state_dict(state["stats"])
+        self.workload.load_state_dict(state["workload"])
+        self.telemetry.load_state_dict(state["telemetry"])
+
+    def save_checkpoint(self, path: Optional[Union[str, Path]] = None) -> Path:
+        """Write one checkpoint file and return its path.
+
+        Without ``path`` the simulator's :class:`CheckpointPolicy` names
+        the file (``<root>/ckpt_<cycle>.json``) and prunes old snapshots;
+        an explicit path writes exactly there and prunes nothing.
+        """
+        cycle = self.network.cycle
+        policy = self.checkpoint
+        policy_named = path is None
+        if policy_named:
+            if policy is None:
+                raise CheckpointError(
+                    "save_checkpoint() needs an explicit path when the "
+                    "simulator has no CheckpointPolicy"
+                )
+            path = checkpoint_path(policy.root, cycle)
+        out = write_checkpoint(
+            path,
+            config=self.config,
+            state=self.state_dict(),
+            cycle=cycle,
+            workload_spec=self.workload_spec,
+        )
+        if policy_named and policy.keep > 0:
+            prune_checkpoints(policy.root, policy.keep)
+        return out
+
+    @classmethod
+    def resume_from(
+        cls,
+        path: Union[str, Path],
+        *,
+        config: Optional[SimConfig] = None,
+        workload: Optional[Workload] = None,
+        telemetry: Optional[Telemetry] = None,
+        checkpoint: Optional[CheckpointPolicy] = None,
+    ) -> "Simulator":
+        """Rebuild a mid-run simulator from a checkpoint file (or the
+        newest checkpoint under a directory).
+
+        ``config``/``workload``/``telemetry`` follow the constructor: when
+        omitted, the config stored in the checkpoint is used and the
+        default Bernoulli workload is rebuilt from it.  A passed config is
+        verified against the checkpoint's ``config_hash`` — bit-exact
+        resume is only defined for the identical configuration.
+        """
+        p = Path(path)
+        if p.is_dir():
+            found = latest_checkpoint(p)
+            if found is None:
+                raise CheckpointError(f"no checkpoints under {p}")
+            p = found
+        payload = read_checkpoint(p)
+        cfg = config if config is not None else SimConfig.from_dict(payload["config"])
+        verify_identity(payload, cfg, source=str(p))
+        sim = cls(cfg, workload=workload, telemetry=telemetry, checkpoint=checkpoint)
+        sim.workload_spec = payload.get("workload")
+        sim.load_state_dict(payload["state"])
+        return sim
 
 
 def run_simulation(

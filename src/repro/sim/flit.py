@@ -105,6 +105,28 @@ class Flit:
         first, then lower packet id, then lower flit index for stability)."""
         return (self.injected_cycle, self.packet_id)
 
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Every slot, JSON-ready (checkpoint serialisation).  Ints and
+        floats round-trip exactly through JSON; the reply_tag tuple becomes
+        a list and is re-tupled by :meth:`from_dict`."""
+        d = {name: getattr(self, name) for name in self.__slots__}
+        if d["reply_tag"] is not None:
+            d["reply_tag"] = list(d["reply_tag"])
+        return d
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Flit":
+        """Rebuild a flit from :meth:`to_dict` output."""
+        flit = cls.__new__(cls)
+        for name in cls.__slots__:
+            setattr(flit, name, data[name])
+        if flit.reply_tag is not None:
+            flit.reply_tag = tuple(flit.reply_tag)
+        return flit
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Flit(fid={self.fid}, pkt={self.packet_id}, {self.src}->{self.dst}, "

@@ -78,6 +78,28 @@ class Link:
         self._regs[0] = self._next
         self._next = None
 
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot the pipeline registers (the staged ``_next`` slot is
+        always empty at the engine's end-of-cycle snapshot point, but is
+        serialised anyway for generality)."""
+        return {
+            "regs": [None if f is None else f.to_dict() for f in self._regs],
+            "next": None if self._next is None else self._next.to_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        regs = state["regs"]
+        if len(regs) != self.latency:
+            raise ValueError(
+                f"link {self.src}->{self.dst}: checkpoint has {len(regs)} "
+                f"pipeline registers, this link has {self.latency}"
+            )
+        self._regs = [None if f is None else Flit.from_dict(f) for f in regs]
+        self._next = None if state["next"] is None else Flit.from_dict(state["next"])
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"Link({self.src}->{self.dst}, regs={self._regs}, next={self._next})"
 
@@ -116,6 +138,16 @@ class CreditChannel:
         """Shift the credit pipeline by one cycle."""
         self._now += self._next
         self._next = 0
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {"now": self._now, "next": self._next}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._now = state["now"]
+        self._next = state["next"]
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"CreditChannel(now={self._now}, next={self._next})"

@@ -7,7 +7,7 @@ One :meth:`step` is one clock cycle of the whole mesh.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
 
 from ..core.faults import FaultPlan
 from ..energy.model import EnergyModel
@@ -172,6 +172,52 @@ class Network:
         for chan in self.credit_channels:
             chan.step()
         self.cycle = cycle + 1
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Snapshot at the end-of-cycle boundary (right after
+        :meth:`step`): links have just shifted (nothing staged), credit
+        channels have just stepped, and every router's ``incoming`` list is
+        stale — the next ``latch`` clears it before reading."""
+        plan = self.fault_plan
+        return {
+            "cycle": self.cycle,
+            "active_flits": self._active_flits,
+            "next_packet_id": self._next_packet_id,
+            "next_flit_id": self._next_flit_id,
+            "fault_signature": plan.signature() if plan is not None else None,
+            "routers": [r.state_dict() for r in self.routers],
+            "links": [link.state_dict() for link in self.links],
+            "credit_channels": [c.state_dict() for c in self.credit_channels],
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        if len(state["routers"]) != len(self.routers) or len(state["links"]) != len(
+            self.links
+        ) or len(state["credit_channels"]) != len(self.credit_channels):
+            raise ValueError(
+                "checkpoint topology does not match this network "
+                f"(k={self.config.k}, design={self.config.design})"
+            )
+        plan = self.fault_plan
+        want = plan.signature() if plan is not None else None
+        if state.get("fault_signature") != want:
+            raise ValueError(
+                "checkpoint fault plan does not match the deterministically "
+                "rebuilt plan — refusing to resume into diverged fault state"
+            )
+        self.cycle = state["cycle"]
+        self._active_flits = state["active_flits"]
+        self._next_packet_id = state["next_packet_id"]
+        self._next_flit_id = state["next_flit_id"]
+        for router, s in zip(self.routers, state["routers"]):
+            router.load_state_dict(s)
+        for link, s in zip(self.links, state["links"]):
+            link.load_state_dict(s)
+        for chan, s in zip(self.credit_channels, state["credit_channels"]):
+            chan.load_state_dict(s)
 
     # ------------------------------------------------------------------
     # introspection / invariants

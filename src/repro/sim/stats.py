@@ -15,6 +15,37 @@ from typing import Dict, List, Optional
 
 from .flit import Flit
 
+#: Scalar attributes serialised verbatim by ``StatsCollector.state_dict``.
+_SCALAR_STATE = (
+    "measure_start",
+    "measure_end",
+    "total_injected_flits",
+    "total_ejected_flits",
+    "total_dropped_flits",
+    "injected_flits",
+    "ejected_flits",
+    "ejected_in_window",
+    "flit_latency_sum",
+    "network_latency_sum",
+    "hops_sum",
+    "deflections",
+    "drops",
+    "retransmissions",
+    "buffered_flit_events",
+    "xbar_traversals",
+    "link_traversals",
+    "fairness_flips",
+    "allocator_swaps",
+    "fault_reconfigurations",
+    "energy_buffer_pj",
+    "energy_xbar_pj",
+    "energy_link_pj",
+    "energy_nack_pj",
+    "packets_completed",
+    "packets_injected",
+    "measured_pending",
+)
+
 
 class StatsCollector:
     """Mutable per-simulation counters.
@@ -147,6 +178,39 @@ class StatsCollector:
         self.total_dropped_flits += 1
         if flit.measured:
             self.drops += 1
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Full collector snapshot.  Int-keyed dicts are stored as
+        ``[key, value]`` pair lists: JSON would stringify the keys and —
+        worse — a plain dict round-trip could reorder them, while dict
+        insertion order is part of the simulation state."""
+        state = {name: getattr(self, name) for name in _SCALAR_STATE}
+        state["pending_packets"] = [[k, v] for k, v in self._pending_packets.items()]
+        state["packet_birth"] = [[k, v] for k, v in self._packet_birth.items()]
+        state["packet_energy"] = [[k, v] for k, v in self._packet_energy.items()]
+        state["packet_measured"] = [[k, v] for k, v in self._packet_measured.items()]
+        state["packet_latencies"] = list(self.packet_latencies)
+        state["packet_energies_pj"] = list(self.packet_energies_pj)
+        state["per_node_ejected"] = list(self.per_node_ejected)
+        state["per_node_injected"] = list(self.per_node_injected)
+        state["per_node_entries"] = list(self.per_node_entries)
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        for name in _SCALAR_STATE:
+            setattr(self, name, state[name])
+        self._pending_packets = {int(k): v for k, v in state["pending_packets"]}
+        self._packet_birth = {int(k): v for k, v in state["packet_birth"]}
+        self._packet_energy = {int(k): v for k, v in state["packet_energy"]}
+        self._packet_measured = {int(k): v for k, v in state["packet_measured"]}
+        self.packet_latencies = list(state["packet_latencies"])
+        self.packet_energies_pj = list(state["packet_energies_pj"])
+        self.per_node_ejected = list(state["per_node_ejected"])
+        self.per_node_injected = list(state["per_node_injected"])
+        self.per_node_entries = list(state["per_node_entries"])
 
     # ------------------------------------------------------------------
     # results

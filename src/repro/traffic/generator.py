@@ -33,6 +33,19 @@ class Workload(ABC):
         workloads are time-bounded and always return False)."""
         return False
 
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot the workload's mutable state (RNG streams, replay
+        cursors, outstanding-transaction bookkeeping).  The base class is
+        stateless; stateful subclasses override both methods."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output onto an identically
+        constructed workload."""
+
 
 class BernoulliSynthetic(Workload):
     """Bernoulli packet injection of one synthetic pattern.
@@ -76,6 +89,14 @@ class BernoulliSynthetic(Workload):
                 continue  # the pattern's fixed points do not inject
             network.inject_packet(src, dst, cycle, num_flits=self.packet_size)
 
+    def state_dict(self) -> dict:
+        # numpy exposes/accepts the full bit-generator state as a nested
+        # dict of ints — JSON-safe and bit-exact.
+        return {"rng": self.rng.bit_generator.state}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.rng.bit_generator.state = state["rng"]
+
 
 class SingleShot(Workload):
     """Test helper: inject an explicit list of (cycle, src, dst, nflits)."""
@@ -92,3 +113,9 @@ class SingleShot(Workload):
 
     def done(self) -> bool:
         return self._idx >= len(self.events)
+
+    def state_dict(self) -> dict:
+        return {"idx": self._idx}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._idx = state["idx"]

@@ -261,6 +261,36 @@ class Splash2Workload(Workload):
             and self._pending_resp_count == 0
         )
 
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        # Heaps are serialised verbatim (a heap's list layout is a valid
+        # heap); derived placement (mcs, home_mc) is rebuilt by the ctor.
+        return {
+            "rng": self.rng.bit_generator.state,
+            "remaining": list(self.remaining),
+            "outstanding": list(self.outstanding),
+            "completed": self.completed,
+            "issues": [list(t) for t in self._issues],
+            "responses": [list(t) for t in self._responses],
+            "pending_resp_count": self._pending_resp_count,
+            "packet_left": [[pid, n] for pid, n in self._packet_left.items()],
+            "seq": self._seq,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.rng.bit_generator.state = state["rng"]
+        self.remaining = list(state["remaining"])
+        self.outstanding = list(state["outstanding"])
+        self.completed = state["completed"]
+        # Entries must be tuples so heappush never compares list to tuple.
+        self._issues = [tuple(t) for t in state["issues"]]
+        self._responses = [tuple(t) for t in state["responses"]]
+        self._pending_resp_count = state["pending_resp_count"]
+        self._packet_left = {int(pid): n for pid, n in state["packet_left"]}
+        self._seq = state["seq"]
+
     @property
     def total_transactions(self) -> int:
         return self.txns_per_core * self.mesh.num_nodes

@@ -62,6 +62,14 @@ class TraceWorkload(Workload):
     def remaining(self) -> int:
         return len(self.events) - self._idx
 
+    def state_dict(self) -> dict:
+        # The event list is rebuilt from the trace spec; only the replay
+        # cursor is genuine state.
+        return {"idx": self._idx}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._idx = state["idx"]
+
 
 def write_trace(events: Iterable[TraceEvent], path: Union[str, Path]) -> None:
     """Serialise events to the text interchange format."""

@@ -1,0 +1,227 @@
+"""Checkpoint/restore: on-disk format, and the bit-exact resume guarantee
+(interrupt a run at cycle k, restore, finish — identical SimResult) for
+every registered design, both routing functions, faulty networks and
+closed-loop workloads."""
+
+import json
+
+import pytest
+
+from repro.checkpoint import (
+    CheckpointError,
+    CheckpointMismatch,
+    CheckpointPolicy,
+    checkpoint_path,
+    cycle_of,
+    latest_checkpoint,
+    list_checkpoints,
+    prune_checkpoints,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.registry import design_names
+from repro.sim.config import FaultConfig, SimConfig
+from repro.sim.engine import Simulator
+from repro.sim.topology import Mesh
+from repro.traffic.splash2 import make_splash2_workload
+
+TINY = dict(
+    k=4,
+    warmup_cycles=60,
+    measure_cycles=200,
+    drain_cycles=400,
+    offered_load=0.30,
+    seed=11,
+)
+
+
+def tiny(**kw):
+    return SimConfig(**{**TINY, **kw})
+
+
+def base_run(config):
+    return Simulator(config).run().to_dict()
+
+
+def checkpointed_run(config, root, every=10):
+    """Run with periodic checkpointing on; returns (result dict, snapshots
+    indexed by cycle)."""
+    policy = CheckpointPolicy(root, every=every, keep=0)
+    result = Simulator(config, checkpoint=policy).run().to_dict()
+    return result, {cycle_of(p): p for p in list_checkpoints(root)}
+
+
+# ----------------------------------------------------------------------
+# the tentpole guarantee
+# ----------------------------------------------------------------------
+class TestBitExactResume:
+    @pytest.mark.parametrize("design", design_names())
+    def test_resume_matches_uninterrupted(self, design, tmp_path):
+        """For every registered design: checkpointing never perturbs the
+        run, and resuming mid-warmup or mid-measurement reproduces the
+        uninterrupted result bit for bit."""
+        cfg = tiny(design=design)
+        base = base_run(cfg)
+        with_ckpt, snaps = checkpointed_run(cfg, tmp_path)
+        assert with_ckpt == base
+        # warmup ends at 60 and measurement at 260, so cycle 40 is
+        # mid-warmup and 150 is mid-measurement.
+        for cycle in (40, 150):
+            resumed = Simulator.resume_from(snaps[cycle]).run().to_dict()
+            assert resumed == base, f"resume at cycle {cycle} diverged"
+
+    def test_resume_from_every_checkpoint(self, tmp_path):
+        """Every snapshot of one run is a valid resume point (unified_wf
+        exercises the buffered/bufferless hybrid and west-first routing)."""
+        cfg = tiny(design="unified_wf")
+        base = base_run(cfg)
+        _, snaps = checkpointed_run(cfg, tmp_path, every=20)
+        assert len(snaps) >= 5
+        for cycle, path in sorted(snaps.items()):
+            assert Simulator.resume_from(path).run().to_dict() == base
+
+    @pytest.mark.parametrize("granularity", ["crossbar", "crosspoint"])
+    def test_resume_with_faults(self, granularity, tmp_path):
+        """Fault detection/reconfiguration state survives a resume: the
+        plan is rebuilt deterministically and the per-router latches are
+        restored."""
+        cfg = tiny(
+            design="dxbar_dor",
+            faults=FaultConfig(percent=50.0, granularity=granularity),
+        )
+        base = base_run(cfg)
+        _, snaps = checkpointed_run(cfg, tmp_path, every=20)
+        for cycle, path in sorted(snaps.items())[:6]:
+            assert Simulator.resume_from(path).run().to_dict() == base
+
+    def test_resume_closed_loop(self, tmp_path):
+        """Closed-loop (SPLASH-2 request/response) runs resume bit-exactly
+        too: the workload's RNG, outstanding transactions and event heaps
+        are all part of the snapshot."""
+        cfg = SimConfig(
+            design="dxbar_dor",
+            k=4,
+            warmup_cycles=0,
+            measure_cycles=1,
+            drain_cycles=0,
+            max_cycles=20_000,
+            seed=11,
+        )
+
+        def workload():
+            return make_splash2_workload("FFT", Mesh(4), txns_per_core=2, seed=5)
+
+        base = Simulator(cfg, workload=workload()).run().to_dict()
+        policy = CheckpointPolicy(tmp_path, every=50, keep=0)
+        again = Simulator(cfg, workload=workload(), checkpoint=policy).run().to_dict()
+        assert again == base
+        snaps = list_checkpoints(tmp_path)
+        assert snaps
+        mid = snaps[len(snaps) // 2]
+        resumed = Simulator.resume_from(mid, workload=workload()).run().to_dict()
+        assert resumed == base
+
+    def test_resume_is_restartable(self, tmp_path):
+        """A resumed run with its own policy writes further checkpoints
+        that are themselves valid resume points (crash -> resume -> crash
+        -> resume, as a retried worker would)."""
+        cfg = tiny(design="dxbar_wf")
+        base = base_run(cfg)
+        _, snaps = checkpointed_run(cfg, tmp_path, every=30)
+        first = sorted(snaps)[0]
+        second_root = tmp_path / "second"
+        sim = Simulator.resume_from(
+            snaps[first], checkpoint=CheckpointPolicy(second_root, every=30, keep=0)
+        )
+        assert sim.run().to_dict() == base
+        later = list_checkpoints(second_root)
+        assert later and all(cycle_of(p) > first for p in later)
+        assert Simulator.resume_from(later[-1]).run().to_dict() == base
+
+
+# ----------------------------------------------------------------------
+# on-disk format
+# ----------------------------------------------------------------------
+class TestFormat:
+    def _save_one(self, tmp_path, **overrides):
+        cfg = tiny(design="flit_bless", **overrides)
+        sim = Simulator(cfg, checkpoint=CheckpointPolicy(tmp_path, every=0))
+        sim.run()
+        return cfg, sim.save_checkpoint(tmp_path / "final.json")
+
+    def test_explicit_path_round_trip(self, tmp_path):
+        cfg, path = self._save_one(tmp_path)
+        payload = read_checkpoint(path)
+        assert payload["config"] == cfg.to_dict()
+        assert payload["config_hash"] == cfg.config_hash()
+        assert payload["cycle"] > 0
+
+    def test_identity_mismatch_refused(self, tmp_path):
+        _, path = self._save_one(tmp_path)
+        other = tiny(design="flit_bless", seed=999)
+        with pytest.raises(CheckpointMismatch):
+            Simulator.resume_from(path, config=other)
+
+    def test_corrupt_file_refused(self, tmp_path):
+        path = tmp_path / "ckpt_000000000010.json"
+        path.write_text("{torn write")
+        with pytest.raises(CheckpointError):
+            read_checkpoint(path)
+
+    def test_wrong_schema_refused(self, tmp_path):
+        _, path = self._save_one(tmp_path)
+        payload = json.loads(path.read_text())
+        payload["schema_version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError, match="schema"):
+            read_checkpoint(path)
+
+    def test_latest_checkpoint_selection(self, tmp_path):
+        for cycle in (10, 200, 30):
+            write_checkpoint(
+                checkpoint_path(tmp_path, cycle),
+                config=tiny(),
+                state={},
+                cycle=cycle,
+            )
+        assert cycle_of(latest_checkpoint(tmp_path)) == 200
+        assert [cycle_of(p) for p in list_checkpoints(tmp_path)] == [10, 30, 200]
+
+    def test_latest_checkpoint_searches_subdirs(self, tmp_path):
+        # A campaign root holds one subdirectory per job.
+        sub = tmp_path / "job"
+        write_checkpoint(
+            checkpoint_path(sub, 40), config=tiny(), state={}, cycle=40
+        )
+        assert cycle_of(latest_checkpoint(tmp_path)) == 40
+
+    def test_pruning_keeps_newest(self, tmp_path):
+        for cycle in (10, 20, 30, 40):
+            write_checkpoint(
+                checkpoint_path(tmp_path, cycle),
+                config=tiny(),
+                state={},
+                cycle=cycle,
+            )
+        prune_checkpoints(tmp_path, keep=2)
+        assert [cycle_of(p) for p in list_checkpoints(tmp_path)] == [30, 40]
+
+    def test_policy_prunes_during_run(self, tmp_path):
+        cfg = tiny(design="dxbar_dor")
+        Simulator(cfg, checkpoint=CheckpointPolicy(tmp_path, every=10, keep=2)).run()
+        assert len(list_checkpoints(tmp_path)) <= 2
+
+    def test_policy_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointPolicy(tmp_path, every=-1)
+        with pytest.raises(ValueError):
+            CheckpointPolicy(tmp_path, keep=-1)
+
+    def test_save_without_policy_or_path(self):
+        sim = Simulator(tiny(design="flit_bless"))
+        with pytest.raises(CheckpointError):
+            sim.save_checkpoint()
+
+    def test_resume_from_empty_dir(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoints"):
+            Simulator.resume_from(tmp_path)

@@ -225,5 +225,6 @@ class TestWorkloadSpecs:
 
     def test_unknown_workload_kind(self):
         spec = RunSpec(tiny(), workload={"kind": "nope"})
-        with pytest.raises(ValueError, match="unknown workload kind"):
-            run_specs([spec])
+        out = run_specs([spec], retries=0)[0]
+        assert not out.ok and out.result is None
+        assert "unknown workload kind" in out.error
