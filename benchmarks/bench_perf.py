@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Simulator-throughput benchmark: activity-scheduled vs dense stepping.
+
+Measures wall-clock cycles/sec of the same configuration under the two
+bit-exact network walks (``Network.dense_step``) across a design x load
+matrix, and writes a machine-readable ``BENCH_sim_perf.json``.
+
+Unlike the ``bench_fig*`` suite (which reproduces the paper's figures),
+this benchmark characterises the *simulator*, so it runs standalone:
+
+    PYTHONPATH=src python benchmarks/bench_perf.py --quick
+
+``--check`` exits non-zero when the activity-scheduled walk is slower
+than the dense walk on any 0.1-offered-load row (the CI perf-smoke gate).
+Each cell reports the median of ``--repeats`` interleaved runs; both
+walks share every run's Python process, so the comparison cancels
+machine-level drift.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.sim.config import SimConfig  # noqa: E402
+from repro.sim.engine import Simulator  # noqa: E402
+
+#: (design, pattern, k, offered load, packet size) rows of the full
+#: matrix.  The NB (nearest-neighbour) rows characterise sparse-activity
+#: workloads: short paths and multi-flit packets concentrate traffic on
+#: few routers at a time, leaving most of the mesh idle — where activity
+#: scheduling pays (the larger the mesh, the larger the idle fraction:
+#: the k=16 NB row is the headline >2x case).  The UR rows with 2-flit
+#: packets are the diffuse
+#: worst case (independent flits scatter over many paths, so at 0.1
+#: flits/node/cycle roughly half the routers see work each cycle).
+FULL_MATRIX = [
+    ("dxbar_dor", "NB", 8, 0.02, 4),
+    ("dxbar_dor", "NB", 8, 0.1, 4),
+    ("dxbar_dor", "NB", 16, 0.1, 4),
+    ("dxbar_dor", "UR", 8, 0.02, 2),
+    ("dxbar_dor", "UR", 8, 0.1, 2),
+    ("dxbar_dor", "UR", 8, 0.3, 2),
+    ("flit_bless", "UR", 8, 0.1, 2),
+    ("buffered4", "UR", 8, 0.1, 2),
+    ("scarab", "UR", 8, 0.05, 2),
+]
+
+QUICK_MATRIX = [
+    ("dxbar_dor", "NB", 16, 0.1, 4),
+    ("dxbar_dor", "UR", 8, 0.1, 2),
+    ("flit_bless", "UR", 8, 0.1, 2),
+]
+
+
+def run_once(design: str, pattern: str, k: int, load: float, ps: int,
+             cycles: int, dense: bool, seed: int) -> tuple:
+    """One timed run; returns (cycles/sec, final_cycle)."""
+    cfg = SimConfig(
+        design=design,
+        k=k,
+        pattern=pattern,
+        offered_load=load,
+        warmup_cycles=100,
+        measure_cycles=cycles,
+        drain_cycles=2000,
+        packet_size=ps,
+        seed=seed,
+    )
+    sim = Simulator(cfg)
+    sim.network.dense_step = dense
+    t0 = time.perf_counter()
+    result = sim.run()
+    elapsed = time.perf_counter() - t0
+    return result.final_cycle / elapsed, result.final_cycle
+
+
+def bench_row(design: str, pattern: str, k: int, load: float, ps: int,
+              cycles: int, repeats: int, seed: int) -> dict:
+    """Median cycles/sec for both walks, runs interleaved (a,d,a,d,...)."""
+    active, dense = [], []
+    final_cycle = 0
+    for _ in range(repeats):
+        cps, final_cycle = run_once(design, pattern, k, load, ps, cycles, False, seed)
+        active.append(cps)
+        cps, _ = run_once(design, pattern, k, load, ps, cycles, True, seed)
+        dense.append(cps)
+    active_cps = statistics.median(active)
+    dense_cps = statistics.median(dense)
+    return {
+        "design": design,
+        "pattern": pattern,
+        "k": k,
+        "offered_load": load,
+        "packet_size": ps,
+        "simulated_cycles": final_cycle,
+        "repeats": repeats,
+        "active_cycles_per_sec": round(active_cps, 1),
+        "dense_cycles_per_sec": round(dense_cps, 1),
+        "speedup": round(active_cps / dense_cps, 3),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small matrix and short runs (CI smoke)")
+    ap.add_argument("--out", default="BENCH_sim_perf.json",
+                    help="output JSON path (default: %(default)s)")
+    ap.add_argument("--cycles", type=int, default=None,
+                    help="measurement cycles per run (default 4000, quick 1200)")
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="runs per (config, walk) cell; median wins")
+    ap.add_argument("--check", action="store_true",
+                    help="exit 1 if the active walk is slower than dense "
+                    "on any 0.1-offered-load row")
+    args = ap.parse_args(argv)
+
+    matrix = QUICK_MATRIX if args.quick else FULL_MATRIX
+    cycles = args.cycles if args.cycles is not None else (1200 if args.quick else 4000)
+
+    rows = []
+    for design, pattern, k, load, ps in matrix:
+        row = bench_row(design, pattern, k, load, ps, cycles, args.repeats, seed=7)
+        rows.append(row)
+        print(
+            f"{design:>11} {pattern:>3} k={k} load={load:<5} ps={ps} "
+            f"active={row['active_cycles_per_sec']:>10,.0f} c/s "
+            f"dense={row['dense_cycles_per_sec']:>10,.0f} c/s "
+            f"speedup={row['speedup']:.2f}x"
+        )
+
+    payload = {
+        "benchmark": "sim_perf",
+        "mode": "quick" if args.quick else "full",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "measure_cycles": cycles,
+        "results": rows,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    if args.check:
+        bad = [r for r in rows
+               if r["offered_load"] == 0.1 and r["speedup"] < 1.0]
+        if bad:
+            for r in bad:
+                print(
+                    f"FAIL: {r['design']}/{r['pattern']} k={r['k']} at load 0.1: "
+                    f"active walk is {r['speedup']:.2f}x dense (< 1.0)",
+                    file=sys.stderr,
+                )
+            return 1
+        print("check passed: active >= dense on every 0.1-load row")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -375,15 +375,26 @@ class DXbarRouter(BaseRouter):
         # Fast path: an idle router (no arrivals, empty buffers, nothing to
         # inject) has no work this cycle — a large share of routers at low
         # and moderate loads.
-        if not self.incoming and not self.inj_queue and not self._any_buffered:
+        inj = self.inj_queue
+        buffered = self._any_buffered
+        if not self.incoming and not inj and not buffered:
             self.fairness.count = 0  # no waiters: the counter rests
             return
-        waiters = self._collect_waiters() if secondary_ok else []
+        # _collect_waiters scans and sorts every FIFO head; when nothing is
+        # buffered or queued (the common switch-through case) it provably
+        # returns [], so skip the scan and the whole waiter machinery.
+        waiters = (
+            self._collect_waiters() if secondary_ok and (inj or buffered) else []
+        )
         outputs_used: set = set()
-        flip = bool(waiters) and self.fairness.should_flip()
         incoming = self._ordered_incoming()
 
-        if flip:
+        if not waiters:
+            self._serve_incoming(incoming, outputs_used, cycle, primary_ok)
+            self.fairness.count = 0  # update(waiters_present=False): rest
+            return
+
+        if self.fairness.should_flip():
             # Waiters are served first — but incoming flits whose FIFO is
             # full must be placed before waiters can consume every output.
             must, rest = self._split_must_place(incoming)
@@ -398,7 +409,7 @@ class DXbarRouter(BaseRouter):
             waiter_won = self._serve_waiters(waiters, outputs_used, cycle)
 
         self.fairness.update(
-            waiters_present=bool(waiters),
+            waiters_present=True,
             waiter_won=waiter_won,
             incoming_won=incoming_won,
         )
@@ -456,6 +467,26 @@ class DXbarRouter(BaseRouter):
     # ------------------------------------------------------------------
     def occupancy(self) -> int:
         return sum(len(f) for f in self.fifos.values())
+
+    def is_idle(self) -> bool:
+        """Idle only once the secondary buffers, the injection queue, the
+        fairness counter and the fault-detection latch are all at rest.
+
+        * a mid-streak fairness counter must keep the router active: the
+          idle fast path of :meth:`_step_normal` rests it to zero, and
+          skipping that reset would diverge from the dense walk;
+        * an undetected non-crosspoint fault flips ``reconfigured`` inside
+          :meth:`step` even when the datapath is empty, so the router stays
+          active until the BIST latch has fired (after reconfiguration the
+          degraded step never touches the fairness counter, so its value —
+          whatever it froze at — no longer gates idleness).
+        """
+        if self.inj_queue or self._any_buffered:
+            return False
+        fault = self.fault
+        if fault is not None and not fault.is_crosspoint and not self.reconfigured:
+            return False
+        return self.reconfigured or self.fairness.count == 0
 
     # ------------------------------------------------------------------
     # checkpointing

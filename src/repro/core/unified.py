@@ -47,6 +47,11 @@ class UnifiedRouter(DXbarRouter):
         super().__init__(node, mesh, routing, energy, config)
         self.allocator = SeparableDualAllocator(num_ports=5)
 
+    # Activity scheduling: ``is_idle`` is inherited from DXbarRouter.  The
+    # only extra state here — the separable allocator's round-robin
+    # pointers — mutates exclusively inside ``allocate``, which the idle
+    # fast path of ``_step_normal`` never reaches.
+
     # ------------------------------------------------------------------
     def _step_normal(self, cycle: int, primary_ok: bool, secondary_ok: bool) -> None:
         # A fault anywhere in the single crossbar freezes traversal until

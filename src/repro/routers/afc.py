@@ -233,6 +233,24 @@ class AFCRouter(BaseRouter):
     def occupancy(self) -> int:
         return sum(len(f) for f in self.fifos.values())
 
+    def is_idle(self) -> bool:
+        """Idle only in bufferless mode with the congestion window at rest.
+
+        A router left in buffered mode must keep stepping so
+        :meth:`_update_mode` can switch it back (a mode switch mutates the
+        ``mode_switches`` counter — observable state).  Non-zero window
+        counters must likewise keep it active: the window reset at the next
+        ``MODE_WINDOW`` boundary happens inside :meth:`step`, and a skipped
+        reset would leak stale congestion into a later mode decision.
+        """
+        return (
+            not self.inj_queue
+            and self.mode == BUFFERLESS_MODE
+            and self._window_deflections == 0
+            and self._window_incoming == 0
+            and self.occupancy() == 0
+        )
+
     # ------------------------------------------------------------------
     # checkpointing
     # ------------------------------------------------------------------

@@ -128,6 +128,8 @@ class BaseRouter(ABC):
         self.inj_queue.append(flit)
         self.counters.injected += 1
         self.stats.record_flit_injection(flit)
+        if self.network is not None:
+            self.network.wake_router(self.node)
         if self.trace is not None:
             self.trace.emit(flit.injected_cycle, EV_INJECT, self.node, flit)
 
@@ -221,6 +223,23 @@ class BaseRouter(ABC):
         Subclasses with buffers override.
         """
         return 0
+
+    def is_idle(self) -> bool:
+        """True when a :meth:`step` this cycle would be an observable no-op,
+        so the activity-scheduled network may skip this router.
+
+        The contract (see docs/architecture.md): a router reporting idle
+        must mutate *no* state — counters, energy, fairness, mode windows,
+        retransmission heaps — if stepped with an empty ``incoming`` list.
+        Arrivals and credits never need checking here: the network wakes
+        the destination of every occupied link head and the upstream side
+        of every pending credit channel independently.  Designs with
+        carry state that advances while the datapath is empty (fairness
+        counters mid-streak, AFC mode windows, SCARAB retransmission
+        queues, pending fault-detection latches) must override and return
+        False until that state has come to rest.
+        """
+        return not self.inj_queue and self.occupancy() == 0
 
     def pending_flits(self) -> int:
         """Total flits this router still owes the network."""

@@ -38,6 +38,12 @@ class BlessRouter(BaseRouter):
         super().__init__(node, mesh, routing, energy, config)
         self._link_ports = tuple(mesh.ports_of(node))
 
+    def is_idle(self) -> bool:
+        """A bufferless deflection router holds no flits across cycles:
+        only a pending injection keeps it active (arrivals wake it through
+        the link heads)."""
+        return not self.inj_queue
+
     def step(self, cycle: int) -> None:
         if not self.incoming and not self.inj_queue:
             return

@@ -172,6 +172,13 @@ class BufferedRouter(BaseRouter):
                     return True
         return False
 
+    def is_idle(self) -> bool:
+        """Idle when every FIFO bank and the source queue are empty.  The
+        round-robin arbiters mutate only on grants, and outstanding credit
+        returns wake this router through the credit channels, so neither
+        gates idleness."""
+        return not self.inj_queue and not self._any_occupancy()
+
     # ------------------------------------------------------------------
     def occupancy(self) -> int:
         return sum(len(b) for banks in self.fifos.values() for b in banks)

@@ -52,6 +52,11 @@ class ScarabRouter(BaseRouter):
         """Called (via the network) when a NACK for ``flit`` arrives home."""
         self._retx_seq += 1
         heapq.heappush(self._retx, (ready_cycle, self._retx_seq, flit))
+        # The drop happens inside another router's step: a mid-step wake so
+        # this source re-enters the walk exactly when the dense order would
+        # reach it.
+        if self.network is not None:
+            self.network.wake_router(self.node)
 
     def _drop(self, flit: Flit, cycle: int) -> None:
         """Drop ``flit`` here and fire a NACK back to its source."""
@@ -154,3 +159,10 @@ class ScarabRouter(BaseRouter):
     # ------------------------------------------------------------------
     def pending_flits(self) -> int:
         return len(self._retx) + len(self.inj_queue)
+
+    def is_idle(self) -> bool:
+        """Idle while nothing waits to (re)inject.  A retransmission whose
+        ``ready_cycle`` lies in the future still keeps the router active:
+        the dense walk steps it every cycle (a no-op until the NACK round
+        trip elapses), and staying active costs exactly those no-ops."""
+        return not self.inj_queue and not self._retx

@@ -177,7 +177,10 @@ class Simulator:
             design=self.config.design,
             offered_load=self.config.offered_load,
             capacity=1.0,
-            cycles=horizon,
+            # Cycles actually simulated — the drain may end before the
+            # configured horizon, and reporting the horizon here made every
+            # early-exiting run overstate its length.
+            cycles=final_cycle,
             final_cycle=final_cycle,
             extra=extra,
             per_router=per_router,

@@ -23,7 +23,9 @@ from .flit import Flit
 class Link:
     """One directed inter-router link with configurable pipeline latency."""
 
-    __slots__ = ("src", "dst", "latency", "_regs", "_next")
+    __slots__ = (
+        "src", "dst", "latency", "_regs", "_next", "_count", "index", "on_activate"
+    )
 
     def __init__(self, src: int, dst: int, latency: int = 2) -> None:
         if latency < 1:
@@ -35,6 +37,15 @@ class Link:
         # the staged flit at the next step().
         self._regs: List[Optional[Flit]] = [None] * latency
         self._next: Optional[Flit] = None
+        # Flits inside the pipeline (regs + staged), maintained on
+        # push/take so the active-set bookkeeping pays O(1) per link cycle.
+        self._count = 0
+        # Activity scheduling: the owning Network assigns a stable index and
+        # a zero-arg callback that (re)registers this link in the active set
+        # the first time a flit enters an otherwise-empty pipeline.  Both
+        # stay None for standalone links (unit tests).
+        self.index: int = -1
+        self.on_activate = None
 
     def push(self, flit: Flit) -> None:
         """Stage ``flit`` onto the link (the ST->LT register write)."""
@@ -43,11 +54,16 @@ class Link:
                 f"link {self.src}->{self.dst} double-driven in one cycle"
             )
         self._next = flit
+        self._count += 1
+        if self.on_activate is not None:
+            self.on_activate()
 
     def take(self) -> Optional[Flit]:
         """Consume the flit that finished traversing the link, if any."""
         flit = self._regs[-1]
-        self._regs[-1] = None
+        if flit is not None:
+            self._regs[-1] = None
+            self._count -= 1
         return flit
 
     def peek(self) -> Optional[Flit]:
@@ -61,8 +77,7 @@ class Link:
 
     def in_flight(self) -> int:
         """Number of flits currently inside the link pipeline."""
-        n = sum(1 for r in self._regs if r is not None)
-        return n + (1 if self._next is not None else 0)
+        return self._count
 
     def step(self) -> None:
         """Shift the pipeline by one cycle."""
@@ -99,6 +114,9 @@ class Link:
             )
         self._regs = [None if f is None else Flit.from_dict(f) for f in regs]
         self._next = None if state["next"] is None else Flit.from_dict(state["next"])
+        self._count = sum(1 for r in self._regs if r is not None) + (
+            1 if self._next is not None else 0
+        )
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Link({self.src}->{self.dst}, regs={self._regs}, next={self._next})"
@@ -113,17 +131,26 @@ class CreditChannel:
     :meth:`collect` at the start of its cycle to top up its credit counter.
     """
 
-    __slots__ = ("_now", "_next")
+    __slots__ = ("_now", "_next", "index", "upstream", "on_activate")
 
     def __init__(self) -> None:
         self._now = 0
         self._next = 0
+        # Activity scheduling: stable index in the network's channel list,
+        # the node id of the upstream router that collects from this channel
+        # (it must latch while credits are pending), and the zero-arg
+        # active-set registration callback.  Unset for standalone channels.
+        self.index: int = -1
+        self.upstream: int = -1
+        self.on_activate = None
 
     def send(self, count: int = 1) -> None:
         """Return ``count`` credits upstream (visible next cycle)."""
         if count < 0:
             raise ValueError("credit count must be non-negative")
         self._next += count
+        if self.on_activate is not None:
+            self.on_activate()
 
     def collect(self) -> int:
         """Upstream side: take all credits that arrived this cycle."""
@@ -133,6 +160,10 @@ class CreditChannel:
 
     def in_flight(self) -> int:
         return self._now + self._next
+
+    def pending(self) -> int:
+        """Credits already visible to the upstream ``collect`` side."""
+        return self._now
 
     def step(self) -> None:
         """Shift the credit pipeline by one cycle."""

@@ -7,7 +7,10 @@ One :meth:`step` is one clock cycle of the whole mesh.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, TYPE_CHECKING
+import heapq
+from bisect import bisect_left
+from functools import partial
+from typing import Any, Dict, List, Optional, Set, TYPE_CHECKING
 
 from ..core.faults import FaultPlan
 from ..energy.model import EnergyModel
@@ -50,8 +53,26 @@ class Network:
         self.credit_channels: List[CreditChannel] = []
         # None on fault-free runs; _apply_faults installs the plan.
         self.fault_plan: Optional[FaultPlan] = None
+
+        # Activity scheduling (see docs/architecture.md).  ``dense_step``
+        # is a plain attribute rather than a SimConfig field on purpose:
+        # both walks are bit-exact, so the toggle must not perturb
+        # config_hash (result-cache and checkpoint identity).
+        self.dense_step = False
+        self._active_routers: Set[int] = set()
+        self._active_links: Set[int] = set()
+        self._active_channels: Set[int] = set()
+        self._pending_wakes: Set[int] = set()
+        self._latch_pending: Set[int] = set()
+        self._in_step_phase = False
+        self._step_pos = -1
+        self._step_order: List[int] = []
+        self._step_index = 0
+        self._step_extra: List[int] = []
+
         self._wire()
         self._apply_faults()
+        self._rebuild_active_sets()
 
         self.workload = None  # set by the Simulator
         self.cycle = 0
@@ -79,8 +100,12 @@ class Network:
     # ------------------------------------------------------------------
     def _wire(self) -> None:
         uses_credits = self.routers[0].uses_credits
+        active_links = self._active_links
+        active_channels = self._active_channels
         for src, out_port, dst in self.mesh.edges():
             link = Link(src, dst, latency=self.config.link_latency)
+            link.index = len(self.links)
+            link.on_activate = partial(active_links.add, link.index)
             self.links.append(link)
             up, down = self.routers[src], self.routers[dst]
             in_port = OPPOSITE[out_port]
@@ -88,6 +113,9 @@ class Network:
             down.in_links[in_port] = link
             if uses_credits:
                 chan = CreditChannel()
+                chan.index = len(self.credit_channels)
+                chan.upstream = src
+                chan.on_activate = partial(active_channels.add, chan.index)
                 self.credit_channels.append(chan)
                 up.credit_in[out_port] = chan
                 up.credits[out_port] = down.credit_budget()
@@ -130,12 +158,22 @@ class Network:
         """Enqueue one packet at the PE source queue of ``src``.
 
         Returns the packet id.  ``measured`` defaults to "injected inside
-        the measurement window".
+        the measurement window" for open-loop runs.  Closed-loop runs
+        (``max_cycles`` set) measure every packet unconditionally: their
+        window is recounted to ``[0, final_cycle)`` after the run, and the
+        pre-run window still holds the open-loop default — consulting it
+        here would silently drop late trace/SPLASH-2 packets from the
+        latency and energy averages.
         """
         if src == dst:
             raise ValueError("a packet's destination must differ from its source")
         n = num_flits if num_flits is not None else self.config.packet_size
-        m = measured if measured is not None else self.stats.in_window(cycle)
+        if measured is not None:
+            m = measured
+        elif self.config.max_cycles is not None:
+            m = True
+        else:
+            m = self.stats.in_window(cycle)
         pid = self._next_packet_id
         self._next_packet_id += 1
         flits = make_packet(
@@ -160,7 +198,22 @@ class Network:
     # simulation
     # ------------------------------------------------------------------
     def step(self) -> None:
-        """Advance the whole network by one clock cycle."""
+        """Advance the whole network by one clock cycle.
+
+        Dispatches to the activity-scheduled walk (the default) or the
+        dense reference walk (``dense_step = True``); the two are bit-exact
+        (enforced by tests/test_active_scheduling.py).  When flipping
+        ``dense_step`` back to False mid-run, call
+        :meth:`_rebuild_active_sets` first — the dense walk does not
+        maintain the active sets.
+        """
+        if self.dense_step:
+            self._step_dense()
+        else:
+            self._step_active()
+
+    def _step_dense(self) -> None:
+        """Reference walk: every router, link and channel, every cycle."""
         cycle = self.cycle
         routers = self.routers
         for router in routers:
@@ -172,6 +225,198 @@ class Network:
         for chan in self.credit_channels:
             chan.step()
         self.cycle = cycle + 1
+
+    def _step_active(self) -> None:
+        """Activity-scheduled walk: only components with work.
+
+        Bit-exactness with the dense walk rests on three invariants:
+
+        * active routers are stepped in ascending node order — the dense
+          iteration order — so order-dependent float accumulation and any
+          cross-router interaction (SCARAB NACKs) see identical sequences;
+        * a router is skipped only when stepping it would be an observable
+          no-op: it reported :meth:`~repro.routers.base.BaseRouter.is_idle`
+          at the end of the previous cycle, no link head or pending credit
+          points at it, and nothing woke it since;
+        * a wake that lands *during* the step phase (e.g. a NACK queued at
+          a source the walk has not reached yet) joins this cycle's walk at
+          its node position — exactly when the dense walk would have
+          stepped it — and defers to the next cycle otherwise.
+        """
+        cycle = self.cycle
+        routers = self.routers
+        active = self._active_routers
+        if self._pending_wakes:
+            active |= self._pending_wakes
+            self._pending_wakes.clear()
+
+        order = sorted(active)
+        # Only routers with an occupied incident link head or a pending
+        # credit channel have anything to latch; for the rest ``latch`` is a
+        # provable no-op (``incoming`` is already clear, every channel
+        # collect returns zero), so it is skipped.  Latches touch disjoint
+        # per-router state, making their order irrelevant.
+        latch_pending = self._latch_pending
+        if latch_pending:
+            for node in latch_pending:
+                routers[node].latch(cycle)
+            latch_pending.clear()
+
+        # Common case: no mid-step wakes — a plain index walk over the
+        # sorted worklist.  A wake for a node the walk has not reached yet
+        # lands in the ``_step_extra`` min-heap (rare: SCARAB NACKs,
+        # closed-loop reply injection) and is merged by front comparison,
+        # keeping the overall visit order ascending.
+        extra = self._step_extra
+        new_active: Set[int] = set()
+        self._step_order = order
+        self._in_step_phase = True
+        i = 0
+        n = len(order)
+        try:
+            while True:
+                if extra:
+                    if i < n and order[i] < extra[0]:
+                        node = order[i]
+                        i += 1
+                    else:
+                        node = heapq.heappop(extra)
+                elif i < n:
+                    node = order[i]
+                    i += 1
+                else:
+                    break
+                self._step_index = i
+                self._step_pos = node
+                router = routers[node]
+                router.step(cycle)
+                # A mid-step-woken router never latched this cycle; clearing
+                # after every step keeps the stale arrivals of its last
+                # active cycle from being served twice.
+                router.incoming.clear()
+                # A later router can only affect this one through
+                # wake_router (caught by the pending-wake merge below), so
+                # idleness can be judged immediately after the step.
+                if not router.is_idle():
+                    new_active.add(node)
+        finally:
+            self._in_step_phase = False
+            self._step_pos = -1
+            extra.clear()
+
+        if self._pending_wakes:
+            new_active |= self._pending_wakes
+            self._pending_wakes.clear()
+
+        # Link/channel steps touch no shared state, so set iteration order
+        # is irrelevant (and a per-cycle sort would buy nothing).  An empty
+        # component's shift is a pure no-op: it is dropped without stepping.
+        # The hot loops read the pipeline slots directly (``_count``,
+        # ``_regs``, ``_now``/``_next``) — the Network owns these objects
+        # and the method-call overhead is measurable here.
+        links = self.links
+        active_links = self._active_links
+        if active_links:
+            drained = []
+            for idx in active_links:
+                link = links[idx]
+                if not link._count:
+                    drained.append(idx)
+                    continue
+                link.step()
+                if link._regs[-1] is not None:
+                    # Occupied head: the destination latches it next cycle.
+                    dst = link.dst
+                    new_active.add(dst)
+                    latch_pending.add(dst)
+            if drained:
+                active_links.difference_update(drained)
+
+        channels = self.credit_channels
+        active_channels = self._active_channels
+        if active_channels:
+            drained = []
+            for idx in active_channels:
+                chan = channels[idx]
+                if not (chan._now or chan._next):
+                    drained.append(idx)
+                    continue
+                chan.step()
+                if chan._now:
+                    # Visible credits: the upstream collects at latch.
+                    up = chan.upstream
+                    new_active.add(up)
+                    latch_pending.add(up)
+            if drained:
+                active_channels.difference_update(drained)
+
+        self._active_routers = new_active
+        self.cycle = cycle + 1
+
+    def wake_router(self, node: int) -> None:
+        """Mark ``node`` as having work (new injection, queued retransmit).
+
+        During the step phase a wake for a node the ascending walk has not
+        reached yet joins the current cycle's worklist; any other wake takes
+        effect next cycle.  Waking an already-active router is a no-op.
+        """
+        if self._in_step_phase and node > self._step_pos:
+            # The walk visits nodes in ascending order, so node > _step_pos
+            # means it has not been stepped; it is already scheduled iff it
+            # sits in the unvisited tail of the worklist or in the overflow
+            # heap (both are tiny scans in practice).
+            order = self._step_order
+            j = bisect_left(order, node, self._step_index)
+            if j < len(order) and order[j] == node:
+                return
+            extra = self._step_extra
+            if node in extra:
+                return
+            heapq.heappush(extra, node)
+        else:
+            self._pending_wakes.add(node)
+
+    def _rebuild_active_sets(self) -> None:
+        """Derive the active sets from component state.
+
+        Called at construction (after fault injection, so routers with a
+        pending detection latch start active) and from
+        :meth:`load_state_dict`.  The sets are pure functions of state a
+        checkpoint already carries, so they are never serialised; skipping
+        an extra router would break bit-exactness while waking an extra
+        idle one cannot (its step is a no-op), hence the conservative
+        direction of every rule below.
+        """
+        self._pending_wakes.clear()
+        # The link/channel callbacks capture these set objects: mutate in
+        # place, never rebind.
+        self._active_links.clear()
+        self._active_links.update(
+            link.index for link in self.links if link.in_flight()
+        )
+        self._active_channels.clear()
+        self._active_channels.update(
+            chan.index for chan in self.credit_channels if chan.in_flight()
+        )
+        active = set()
+        for r in self.routers:
+            # ``incoming`` is transient within a cycle and semantically dead
+            # at every rebuild point (construction, checkpoint load, walk
+            # toggle); clearing it here makes the skip-latch rule safe even
+            # when the previous walk left stale arrivals behind.
+            r.incoming.clear()
+            if not r.is_idle():
+                active.add(r.node)
+        self._latch_pending.clear()
+        for link in self.links:
+            if link.peek() is not None:
+                active.add(link.dst)
+                self._latch_pending.add(link.dst)
+        for chan in self.credit_channels:
+            if chan.pending():
+                active.add(chan.upstream)
+                self._latch_pending.add(chan.upstream)
+        self._active_routers = active
 
     # ------------------------------------------------------------------
     # checkpointing
@@ -218,6 +463,10 @@ class Network:
             link.load_state_dict(s)
         for chan, s in zip(self.credit_channels, state["credit_channels"]):
             chan.load_state_dict(s)
+        # Active sets are derived state: recompute rather than restore, so
+        # checkpoints written by dense and activity-scheduled runs stay
+        # interchangeable.
+        self._rebuild_active_sets()
 
     # ------------------------------------------------------------------
     # introspection / invariants

@@ -266,8 +266,15 @@ class StatsCollector:
             deflections_per_flit=(
                 self.deflections / self.ejected_flits if self.ejected_flits else 0.0
             ),
+            # Buffered events per hop.  Guard the denominator explicitly:
+            # 0.0 only when no buffered event happened either; buffered
+            # events with zero measured hops (nothing measured ejected yet
+            # everything that did was buffered) saturate at 1.0 instead of
+            # the old max(1, hops) ratio that just echoed the event count.
             buffered_fraction=(
-                self.buffered_flit_events / max(1, self.hops_sum)
+                self.buffered_flit_events / self.hops_sum
+                if self.hops_sum > 0
+                else (0.0 if self.buffered_flit_events == 0 else 1.0)
             ),
             retransmissions=self.retransmissions,
             drops=self.drops,

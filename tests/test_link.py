@@ -108,6 +108,55 @@ class TestLinkThroughput:
         link.push(_flit(1))
         assert link.in_flight() == 2
 
+    def test_in_flight_tracks_take(self):
+        """The O(1) occupancy counter stays consistent through a full
+        push/step/take cycle (including a take on an empty head)."""
+        link = Link(0, 1, latency=2)
+        assert link.take() is None
+        assert link.in_flight() == 0
+        link.push(_flit())
+        link.step()
+        assert link.in_flight() == 1
+        link.step()
+        assert link.in_flight() == 1  # at the head, not yet consumed
+        assert link.take() is not None
+        assert link.in_flight() == 0
+        assert link.take() is None  # double-take does not go negative
+        assert link.in_flight() == 0
+
+
+class TestLatencyOneShiftSemantics:
+    """A latency-1 link is a single register: pushed at ``t``, visible at
+    ``t+1``, full rate sustained."""
+
+    def test_single_register_delay(self):
+        link = Link(0, 1, latency=1)
+        link.push(_flit(0))
+        assert link.peek() is None  # not visible in the push cycle
+        link.step()
+        assert link.peek() is not None
+        assert link.take().fid == 0
+
+    def test_full_rate_streaming_latency_one(self):
+        link = Link(0, 1, latency=1)
+        received = []
+        for cycle in range(10):
+            got = link.take()
+            if got is not None:
+                received.append(got.fid)
+            link.push(_flit(cycle))
+            link.step()
+        # After the 1-cycle fill, one flit arrives every cycle in order.
+        assert received == list(range(9))
+        assert link.in_flight() == 1
+
+    def test_stranded_head_raises_latency_one(self):
+        link = Link(0, 1, latency=1)
+        link.push(_flit(0))
+        link.step()
+        with pytest.raises(RuntimeError):
+            link.step()  # head never taken
+
 
 class TestCreditChannel:
     def test_credits_arrive_next_cycle(self):

@@ -172,6 +172,36 @@ class TestResult:
         assert r.energy_per_packet_nj == 0.0
         assert r.energy_per_flit_pj == 0.0
 
+    def test_buffered_fraction_zero_only_when_both_zero(self):
+        """0.0 must mean "no buffering happened", never "no data": with
+        zero hops the fraction is 0.0 only when there were also zero
+        buffered events."""
+        s = self._collector()
+        r = s.result(
+            design="dxbar_dor", offered_load=0.1, capacity=1.0, cycles=10, final_cycle=10
+        )
+        assert r.buffered_fraction == 0.0
+
+    def test_buffered_fraction_saturates_without_hops(self):
+        # Buffered events with hops_sum == 0 (e.g. a window that closed
+        # before any measured flit left its first router) must not be
+        # reported as a perfectly bufferless 0.0.
+        s = self._collector()
+        s.buffered_flit_events = 3
+        r = s.result(
+            design="dxbar_dor", offered_load=0.1, capacity=1.0, cycles=10, final_cycle=10
+        )
+        assert r.buffered_fraction == 1.0
+
+    def test_buffered_fraction_is_ratio(self):
+        s = self._collector()
+        s.buffered_flit_events = 3
+        s.hops_sum = 12
+        r = s.result(
+            design="dxbar_dor", offered_load=0.1, capacity=1.0, cycles=10, final_cycle=10
+        )
+        assert r.buffered_fraction == pytest.approx(0.25)
+
     def test_extra_dict_preserved(self):
         s = self._collector()
         r = s.result(
