@@ -72,6 +72,7 @@ def sweep_loads(
     progress=None,
     checkpoint_every: int = 0,
     checkpoint_root: Optional[Union[str, Path]] = None,
+    audit=False,
     **overrides,
 ) -> SweepResult:
     """Run ``design`` at each offered load in ``loads``."""
@@ -87,6 +88,7 @@ def sweep_loads(
         progress=progress,
         checkpoint_every=checkpoint_every,
         checkpoint_root=checkpoint_root,
+        audit=audit,
     )
     return SweepResult(design=design, loads=list(loads), results=_results(outcomes))
 
@@ -101,6 +103,7 @@ def sweep_designs(
     progress=None,
     checkpoint_every: int = 0,
     checkpoint_root: Optional[Union[str, Path]] = None,
+    audit=False,
     **overrides,
 ) -> Dict[str, SweepResult]:
     """Run every design across the same load grid.
@@ -123,6 +126,7 @@ def sweep_designs(
         progress=progress,
         checkpoint_every=checkpoint_every,
         checkpoint_root=checkpoint_root,
+        audit=audit,
     )
     out: Dict[str, SweepResult] = {}
     for i, d in enumerate(designs):

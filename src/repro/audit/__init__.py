@@ -1,0 +1,12 @@
+"""Opt-in per-cycle invariant auditing (see docs/architecture.md).
+
+Public surface: :class:`Auditor` (attach to a network, call
+``after_step()`` each cycle), :class:`AuditConfig` (knobs, serialisable
+across process boundaries) and :class:`AuditViolation` (the structured
+failure raised on the first broken invariant).
+"""
+
+from .auditor import AuditConfig, Auditor, _as_audit_config
+from .violation import AuditViolation
+
+__all__ = ["AuditConfig", "Auditor", "AuditViolation", "_as_audit_config"]

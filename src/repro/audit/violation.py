@@ -1,0 +1,94 @@
+"""Structured audit failures.
+
+An :class:`AuditViolation` is raised the moment a per-cycle invariant
+breaks, carrying enough context — the check name, the cycle just
+completed, the node (or link endpoint) involved, the offending flit and
+its recent movement trail — to localise the bug without re-running under
+a debugger.  ``to_dict()`` renders the same payload as JSON for CI
+artifact upload.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+
+class AuditViolation(RuntimeError):
+    """One broken invariant, localised in time and space.
+
+    Attributes
+    ----------
+    check:
+        Invariant family that fired (``conservation``, ``duplication``,
+        ``teleport``, ``credit``, ``starvation``, ``fairness``,
+        ``allocation``, ``design``).
+    cycle:
+        The cycle whose end-of-cycle state broke the invariant (i.e. the
+        argument the routers' ``step`` received).
+    node:
+        Router node id the violation localises to, or -1 when the check is
+        global (e.g. a conservation count mismatch).
+    flit:
+        ``Flit.to_dict()`` snapshot of the offending flit, when one is
+        identifiable.
+    trail:
+        Recent ``[cycle, location]`` movement history of that flit as
+        recorded by the auditor, oldest first.
+    trace_records:
+        Telemetry lifecycle records for the flit pulled from the PR-1
+        tracer's ring buffer, when tracing is enabled.
+    details:
+        Free-form check-specific context.
+    """
+
+    def __init__(
+        self,
+        check: str,
+        cycle: int,
+        node: int,
+        message: str,
+        flit: Optional[Dict[str, Any]] = None,
+        trail: Optional[List[Any]] = None,
+        trace_records: Optional[List[dict]] = None,
+        details: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.check = check
+        self.cycle = cycle
+        self.node = node
+        self.message = message
+        self.flit = flit
+        self.trail = list(trail) if trail else []
+        self.trace_records = list(trace_records) if trace_records else []
+        self.details = dict(details) if details else {}
+        where = f"node {node}" if node >= 0 else "network"
+        super().__init__(f"[{check}] cycle {cycle}, {where}: {message}")
+
+    # ProcessPoolExecutor pickles worker exceptions; without __reduce__ the
+    # multi-argument constructor breaks unpickling on the parent side.
+    def __reduce__(self):
+        return (
+            AuditViolation,
+            (
+                self.check,
+                self.cycle,
+                self.node,
+                self.message,
+                self.flit,
+                self.trail,
+                self.trace_records,
+                self.details,
+            ),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable report (the CI artifact payload)."""
+        return {
+            "check": self.check,
+            "cycle": self.cycle,
+            "node": self.node,
+            "message": self.message,
+            "flit": self.flit,
+            "trail": self.trail,
+            "trace_records": self.trace_records,
+            "details": self.details,
+        }

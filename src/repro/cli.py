@@ -15,7 +15,9 @@ result cache giving skip-completed/resume semantics).  ``run`` and
 (periodic mid-run snapshots through :mod:`repro.checkpoint`; the
 directory defaults to ``REPRO_CHECKPOINT_DIR``), and ``run`` accepts
 ``--resume-from PATH`` to continue a killed run bit-exactly from its
-latest snapshot.  Design and pattern choices come from the plugin
+latest snapshot.  Both commands accept ``--audit`` (per-cycle invariant
+auditing through :mod:`repro.audit`; ``--audit-report DIR`` writes any
+violation as a JSON report).  Design and pattern choices come from the plugin
 registries; set ``REPRO_PLUGINS`` to a comma-separated list of importable
 modules to load out-of-tree designs or patterns before the parser is
 built::
@@ -29,6 +31,7 @@ Examples::
     python -m repro run --trace events.jsonl --metrics-out metrics.json --profile
     python -m repro run --checkpoint-every 500 --checkpoint-dir ckpts
     python -m repro run --resume-from ckpts --json
+    python -m repro run --design unified_wf --faults 100 --audit
     python -m repro sweep --designs dxbar_dor buffered8 --loads 0.1 0.3 0.5 --jobs 4
     python -m repro figure fig5 --scale quick --jobs 4 --cache-dir .repro-cache
     python -m repro splash --app Ocean --txns 40
@@ -47,6 +50,7 @@ from typing import List, Optional
 from .analysis.experiments import ALL_EXPERIMENTS, SCALES
 from .analysis.report import render_figure, render_table
 from .analysis.sweep import as_cache, sweep_designs
+from .audit import AuditConfig
 from .checkpoint import CheckpointError, CheckpointPolicy
 from .designs import DESIGN_LABELS, PAPER_DESIGNS
 from .registry import design_names, pattern_names
@@ -109,6 +113,36 @@ def _add_checkpoint_args(p: argparse.ArgumentParser, resume: bool = False) -> No
             help="resume bit-exactly from a checkpoint file, or from the "
                  "newest checkpoint under a directory",
         )
+
+
+def _add_audit_args(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("invariant auditing (repro.audit; off by default)")
+    g.add_argument(
+        "--audit", action="store_true",
+        help="re-verify flit/credit conservation, movement legality, "
+             "progress and design postconditions every cycle; the first "
+             "violation aborts the run with a localised report",
+    )
+    g.add_argument(
+        "--audit-report", metavar="DIR", default=None,
+        help="also write any violation as a JSON report under DIR "
+             "(implies --audit)",
+    )
+    g.add_argument(
+        "--audit-max-age", type=int, default=1000, metavar="N",
+        help="in-network cycles a flit may age before the livelock "
+             "watchdog fires (0 = off; default 1000)",
+    )
+
+
+def _audit_from(args):
+    """False when auditing is off, else the AuditConfig for this run."""
+    if not (getattr(args, "audit", False) or getattr(args, "audit_report", None)):
+        return False
+    return AuditConfig(
+        max_age=getattr(args, "audit_max_age", 1000),
+        report_dir=getattr(args, "audit_report", None),
+    )
 
 
 def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
@@ -175,7 +209,7 @@ def _resume_simulator(args) -> Simulator:
         )
         policy = CheckpointPolicy(root, every=args.checkpoint_every)
     try:
-        return Simulator.resume_from(path, checkpoint=policy)
+        return Simulator.resume_from(path, checkpoint=policy, audit=_audit_from(args))
     except CheckpointError as exc:
         raise SystemExit(f"repro run: {exc}")
 
@@ -193,6 +227,7 @@ def cmd_run(args) -> int:
             cache=as_cache(args.cache_dir),
             checkpoint_every=args.checkpoint_every,
             checkpoint_root=args.checkpoint_dir,
+            audit=_audit_from(args),
         )[0]
         if not outcome.ok:
             print(f"repro run: job failed: {outcome.error}", file=sys.stderr)
@@ -239,6 +274,7 @@ def cmd_sweep(args) -> int:
         cache=as_cache(args.cache_dir),
         checkpoint_every=args.checkpoint_every,
         checkpoint_root=args.checkpoint_dir,
+        audit=_audit_from(args),
     )
     if args.json:
         payload = {
@@ -339,6 +375,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runner_args(p)
     _add_checkpoint_args(p, resume=True)
     _add_telemetry_args(p)
+    _add_audit_args(p)
     p.add_argument("--json", action="store_true",
                    help="print the SimResult as one JSON object")
     p.set_defaults(func=cmd_run)
@@ -347,6 +384,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sim_args(p)
     _add_runner_args(p)
     _add_checkpoint_args(p)
+    _add_audit_args(p)
     p.add_argument("--designs", nargs="+", default=["dxbar_dor", "buffered4"],
                    choices=design_names())
     p.add_argument("--loads", nargs="+", type=float, default=[0.1, 0.3, 0.5])

@@ -468,6 +468,36 @@ class DXbarRouter(BaseRouter):
     def occupancy(self) -> int:
         return sum(len(f) for f in self.fifos.values())
 
+    # ------------------------------------------------------------------
+    # invariant auditing
+    # ------------------------------------------------------------------
+    def audit_snapshot(self) -> dict:
+        snap = super().audit_snapshot()
+        for port, fifo in self.fifos.items():
+            snap[f"fifo:{port.name}"] = list(fifo)
+        return snap
+
+    def audit_invariants(self, cycle: int):
+        # The paper's starvation bound: a fairness streak never survives
+        # past its threshold — the flip (or the idle rest) clears it.
+        if self.fairness.count > self.fairness.threshold:
+            yield (
+                "fairness",
+                f"fairness counter at {self.fairness.count} exceeds "
+                f"threshold {self.fairness.threshold} without flipping",
+            )
+        # FIFO overfill is legal only as the undetected-non-crosspoint-fault
+        # input-latch hold (drained by the degraded mode after detection).
+        overfill_ok = self.fault is not None and not self.fault.is_crosspoint
+        for port, fifo in self.fifos.items():
+            if len(fifo) > fifo.depth and not overfill_ok:
+                yield (
+                    "design",
+                    f"secondary FIFO {port.name} holds {len(fifo)} flits "
+                    f"(depth {fifo.depth}) with no fault to excuse the "
+                    "overfill",
+                )
+
     def is_idle(self) -> bool:
         """Idle only once the secondary buffers, the injection queue, the
         fairness counter and the fault-detection latch are all at rest.

@@ -26,6 +26,7 @@ clock cycles).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -121,7 +122,11 @@ class FaultPlan:
         self.config = config
         self.num_routers = num_routers
         self._faults: Dict[int, RouterFault] = {}
-        count = int(round(config.percent / 100.0 * num_routers))
+        # Deterministic half-up rounding.  Python's round() rounds half to
+        # even, so e.g. 50% of a 3x3 mesh gave 4 faults while 50% of 3
+        # routers gave 2 — the faulty-set size jumped inconsistently with
+        # the percentage and broke nestedness expectations.
+        count = int(math.floor(config.percent / 100.0 * num_routers + 0.5))
         if count == 0:
             return
         rng = np.random.default_rng(config.seed)

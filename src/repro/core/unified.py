@@ -110,6 +110,8 @@ class UnifiedRouter(DXbarRouter):
                 waiter_src[id(flit)] = (kind, in_port)
 
         grants, swaps = self.allocator.allocate(requests, waiters_first=flip)
+        if self.audit is not None:
+            self.audit.observe_grants(self.node, cycle, grants)
         self.stats.allocator_swaps += swaps
         if flip:
             self.fairness.note_flip()

@@ -106,6 +106,12 @@ class JsonlSink:
         self._fh.write(self._dumps(record, separators=(",", ":")))
         self._fh.write("\n")
 
+    def flush(self) -> None:
+        """Make everything written so far readable from ``path`` (the
+        auditor reads the file back when composing a violation report)."""
+        if not self._fh.closed:
+            self._fh.flush()
+
     def close(self) -> None:
         if not self._fh.closed:
             self._fh.close()

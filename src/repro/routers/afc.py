@@ -233,6 +233,33 @@ class AFCRouter(BaseRouter):
     def occupancy(self) -> int:
         return sum(len(f) for f in self.fifos.values())
 
+    # ------------------------------------------------------------------
+    # invariant auditing
+    # ------------------------------------------------------------------
+    def audit_snapshot(self) -> dict:
+        snap = super().audit_snapshot()
+        for port, fifo in self.fifos.items():
+            snap[f"fifo:{port.name}"] = list(fifo)
+        return snap
+
+    def audit_invariants(self, cycle: int):
+        # The drain protocol guarantees bufferless mode implies empty,
+        # power-gated FIFOs — buffered occupancy in bufferless mode means
+        # the mode controller skipped the drain.
+        if self.mode == BUFFERLESS_MODE and self.occupancy() != 0:
+            yield (
+                "design",
+                f"AFC router in bufferless mode holds {self.occupancy()} "
+                "buffered flits (drain protocol violated)",
+            )
+        for port, fifo in self.fifos.items():
+            if len(fifo) > fifo.depth:
+                yield (
+                    "design",
+                    f"AFC input FIFO {port.name} holds {len(fifo)} flits "
+                    f"(depth {fifo.depth})",
+                )
+
     def is_idle(self) -> bool:
         """Idle only in bufferless mode with the congestion window at rest.
 

@@ -76,6 +76,9 @@ class BaseRouter(ABC):
         # event counters the engine and interval metrics aggregate.
         self.trace = None
         self.counters = RouterCounters()
+        # Invariant auditor (None unless auditing is enabled; same one-branch
+        # hot-path discipline as the tracer).
+        self.audit = None
 
     # ------------------------------------------------------------------
     # wiring hooks (called by Network)
@@ -244,3 +247,33 @@ class BaseRouter(ABC):
     def pending_flits(self) -> int:
         """Total flits this router still owes the network."""
         return self.occupancy() + len(self.inj_queue)
+
+    # ------------------------------------------------------------------
+    # invariant auditing (see src/repro/audit/)
+    # ------------------------------------------------------------------
+    def audit_snapshot(self) -> Dict[str, List[Flit]]:
+        """Every flit this router holds at the end-of-cycle boundary,
+        grouped by named container.
+
+        The contract (mirroring :meth:`is_idle`): the union over containers
+        must enumerate each held flit exactly once and cover everything
+        :meth:`pending_flits` counts — source queue, input FIFOs,
+        retransmission queues.  The transient ``incoming`` list is *not* a
+        container (it is dead at the boundary).  Subclasses with buffers
+        extend the base dict.
+        """
+        return {"inj_queue": list(self.inj_queue)}
+
+    def audit_invariants(self, cycle: int):
+        """Yield ``(check, message)`` pairs for broken design-specific
+        postconditions at the end of ``cycle`` (e.g. a bufferless primary
+        holding state, a fairness counter past its threshold).  The base
+        design has none.
+        """
+        return ()
+
+    def audit_input_occupancy(self, in_port: Port) -> int:
+        """Flits buffered against the credits of the upstream router on
+        ``in_port`` (used for per-link credit conservation).  Bufferless
+        designs hold none."""
+        return 0

@@ -44,6 +44,15 @@ class BlessRouter(BaseRouter):
         the link heads)."""
         return not self.inj_queue
 
+    def audit_invariants(self, cycle: int):
+        # Bufferless postcondition: every arrival left the same cycle.
+        if self.occupancy() != 0:
+            yield (
+                "design",
+                f"bufferless BLESS router holds {self.occupancy()} flits "
+                "across the cycle boundary",
+            )
+
     def step(self, cycle: int) -> None:
         if not self.incoming and not self.inj_queue:
             return

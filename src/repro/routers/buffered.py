@@ -184,6 +184,32 @@ class BufferedRouter(BaseRouter):
         return sum(len(b) for banks in self.fifos.values() for b in banks)
 
     # ------------------------------------------------------------------
+    # invariant auditing
+    # ------------------------------------------------------------------
+    def audit_snapshot(self) -> dict:
+        snap = super().audit_snapshot()
+        for port, banks in self.fifos.items():
+            for i, bank in enumerate(banks):
+                snap[f"fifo:{port.name}:{i}"] = list(bank)
+        return snap
+
+    def audit_input_occupancy(self, in_port: Port) -> int:
+        banks = self.fifos.get(in_port)
+        if banks is None:
+            return 0
+        return sum(len(bank) for bank in banks)
+
+    def audit_invariants(self, cycle: int):
+        for port, banks in self.fifos.items():
+            for i, bank in enumerate(banks):
+                if len(bank) > bank.depth:
+                    yield (
+                        "design",
+                        f"input FIFO {port.name}:{i} holds {len(bank)} flits "
+                        f"(depth {bank.depth}) — credit flow control overrun",
+                    )
+
+    # ------------------------------------------------------------------
     # checkpointing
     # ------------------------------------------------------------------
     def state_dict(self) -> dict:

@@ -160,6 +160,26 @@ class ScarabRouter(BaseRouter):
     def pending_flits(self) -> int:
         return len(self._retx) + len(self.inj_queue)
 
+    # ------------------------------------------------------------------
+    # invariant auditing
+    # ------------------------------------------------------------------
+    def audit_snapshot(self) -> dict:
+        snap = super().audit_snapshot()
+        snap["retx"] = [flit for _, _, flit in self._retx]
+        return snap
+
+    def audit_invariants(self, cycle: int):
+        # Bufferless postcondition: a SCARAB router never holds datapath
+        # state across cycles — every dropped flit must have re-entered its
+        # source's retransmission queue (the conservation walk proves the
+        # drop/retransmit coupling; this catches local container leaks).
+        if self.occupancy() != 0:
+            yield (
+                "design",
+                f"bufferless SCARAB router holds {self.occupancy()} flits "
+                "across the cycle boundary",
+            )
+
     def is_idle(self) -> bool:
         """Idle while nothing waits to (re)inject.  A retransmission whose
         ``ready_cycle`` lies in the future still keeps the router active:

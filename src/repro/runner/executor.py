@@ -42,6 +42,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
+from ..audit import AuditViolation, _as_audit_config
 from ..checkpoint.format import CheckpointError, list_checkpoints
 from ..checkpoint.policy import CheckpointPolicy
 from ..sim.config import SimConfig
@@ -90,6 +91,7 @@ def execute_spec(
     *,
     checkpoint_every: int = 0,
     checkpoint_dir: Optional[Union[str, Path]] = None,
+    audit=False,
 ) -> SimResult:
     """Run one job in this process and return its result.
 
@@ -97,6 +99,10 @@ def execute_spec(
     cycles (0 = never) into that directory — and first tries to *resume*
     from the newest readable checkpoint already there, which is what turns
     a retry of a crashed attempt into a continuation instead of a restart.
+
+    ``audit`` (False, True or an :class:`~repro.audit.AuditConfig`) runs
+    the job under the per-cycle invariant auditor; a violation raises
+    :class:`~repro.audit.AuditViolation` out of this call.
     """
     workload = materialize_workload(spec.workload, spec.config)
     policy = None
@@ -105,13 +111,17 @@ def execute_spec(
         for path in reversed(list_checkpoints(policy.root)):
             try:
                 sim = Simulator.resume_from(
-                    path, config=spec.config, workload=workload, checkpoint=policy
+                    path,
+                    config=spec.config,
+                    workload=workload,
+                    checkpoint=policy,
+                    audit=audit,
                 )
             except CheckpointError:
                 continue  # torn/foreign snapshot: try the next-oldest
             sim.workload_spec = dict(spec.workload) if spec.workload else None
             return sim.run(check_invariants=check_invariants)
-    sim = Simulator(spec.config, workload=workload, checkpoint=policy)
+    sim = Simulator(spec.config, workload=workload, checkpoint=policy, audit=audit)
     sim.workload_spec = dict(spec.workload) if spec.workload else None
     return sim.run(check_invariants=check_invariants)
 
@@ -131,6 +141,9 @@ def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         check_invariants=payload.get("check_invariants", False),
         checkpoint_every=payload.get("checkpoint_every", 0),
         checkpoint_dir=payload.get("checkpoint_dir"),
+        # Crosses the process boundary as False/True/dict; execute_spec's
+        # coercion (via Simulator) accepts all three.
+        audit=payload.get("audit", False),
     ).to_dict()
 
 
@@ -179,6 +192,7 @@ def run_specs(
     job_timeout: Optional[float] = None,
     checkpoint_every: int = 0,
     checkpoint_root: Optional[Union[str, Path]] = None,
+    audit=False,
 ) -> List[RunOutcome]:
     """Execute ``specs`` and return their outcomes in spec order.
 
@@ -197,6 +211,11 @@ def run_specs(
     ``<root>/<job_id>/`` and retries resume from the last snapshot.
     Terminal failures come back as outcomes with ``error`` set; they are
     never written to the cache.
+
+    ``audit`` runs every executed job under the per-cycle invariant
+    auditor (cache hits are not re-audited); an ``AuditViolation`` is a
+    job failure like any other, except it is never retried — the
+    simulation is deterministic, so a violation would simply repeat.
     """
     specs = list(specs)
     if jobs < 0:
@@ -247,6 +266,11 @@ def run_specs(
             )
             _report(outcomes[i])
 
+    audit_payload: Any = audit
+    audit_config = _as_audit_config(audit)
+    if audit_config is not None:
+        audit_payload = audit_config.to_dict()
+
     if jobs <= 1 or len(pending) <= 1:
         for key, indexes in pending.items():
             attempt = 0
@@ -258,9 +282,10 @@ def run_specs(
                         check_invariants=check_invariants,
                         checkpoint_every=checkpoint_every,
                         checkpoint_dir=_ckpt_dir(key),
+                        audit=audit,
                     )
                 except Exception as exc:
-                    if attempt > retries:
+                    if attempt > retries or isinstance(exc, AuditViolation):
                         _fail(indexes, _describe_error(exc), attempt)
                         break
                     _sleep_backoff(retry_backoff, attempt)
@@ -279,6 +304,7 @@ def run_specs(
             retry_backoff=retry_backoff,
             job_timeout=job_timeout,
             checkpoint_every=checkpoint_every,
+            audit=audit_payload,
             ckpt_dir=_ckpt_dir,
             finish=_finish,
             fail=_fail,
@@ -298,6 +324,7 @@ def _run_parallel(
     retry_backoff: float,
     job_timeout: Optional[float],
     checkpoint_every: int,
+    audit: Any,
     ckpt_dir: Callable[[str], Optional[str]],
     finish: Callable[[List[int], SimResult, int], None],
     fail: Callable[[List[int], str, int], None],
@@ -333,6 +360,7 @@ def _run_parallel(
                     "check_invariants": check_invariants,
                     "checkpoint_every": checkpoint_every,
                     "checkpoint_dir": ckpt_dir(key),
+                    "audit": audit,
                 }
                 fut = pool.submit(_execute_payload, payload)
                 futures[fut] = key
@@ -367,7 +395,7 @@ def _run_parallel(
                     except BrokenExecutor:
                         raise  # the whole pool is gone, not just this job
                     except Exception as exc:
-                        if attempts[key] > retries:
+                        if attempts[key] > retries or isinstance(exc, AuditViolation):
                             fail(jobs_left.pop(key), _describe_error(exc), attempts[key])
                         # else: stays in jobs_left for the next round
                     else:

@@ -30,6 +30,7 @@ from ..checkpoint.format import (
     verify_identity,
     write_checkpoint,
 )
+from ..audit import Auditor, _as_audit_config
 from ..checkpoint.policy import CheckpointPolicy
 from ..obs.counters import merge_counters
 from ..obs.facade import Telemetry
@@ -49,6 +50,7 @@ class Simulator:
         workload: Optional[Workload] = None,
         telemetry: Optional[Telemetry] = None,
         checkpoint: Optional[CheckpointPolicy] = None,
+        audit=False,
     ) -> None:
         self.config = config
         self.checkpoint = checkpoint
@@ -76,6 +78,13 @@ class Simulator:
             )
         self.workload = workload
         self.network.workload = workload
+        # Per-cycle invariant auditor: opt-in (``audit=True`` or an
+        # AuditConfig); a disabled auditor costs one ``is None`` test per
+        # cycle and nothing in the routers.
+        audit_config = _as_audit_config(audit)
+        self.auditor = (
+            Auditor(self.network, audit_config) if audit_config is not None else None
+        )
 
     # ------------------------------------------------------------------
     def _run_loop(self, horizon: int, stop, check_invariants: bool) -> int:
@@ -96,6 +105,7 @@ class Simulator:
         metrics = self.telemetry.metrics
         interval = metrics.interval if metrics is not None else 0
         policy = self.checkpoint
+        auditor = self.auditor
         # Resumed simulators enter mid-run; fresh ones at cycle 0.
         cycle = network.cycle
         while cycle < horizon:
@@ -110,6 +120,8 @@ class Simulator:
                 t2 = perf_counter()
                 prof.add("workload.tick", t1 - t0)
                 prof.add("network.step", t2 - t1)
+            if auditor is not None:
+                auditor.after_step()
             cycle += 1
             if interval and cycle % interval == 0:
                 metrics.sample(network, cycle)
@@ -209,6 +221,11 @@ class Simulator:
         self.stats.load_state_dict(state["stats"])
         self.workload.load_state_dict(state["workload"])
         self.telemetry.load_state_dict(state["telemetry"])
+        if self.auditor is not None:
+            # Auditor state is derived (like the network's active sets):
+            # drop the movement history and re-baseline from the restored
+            # boundary.
+            self.auditor.reset()
 
     def save_checkpoint(self, path: Optional[Union[str, Path]] = None) -> Path:
         """Write one checkpoint file and return its path.
@@ -247,6 +264,7 @@ class Simulator:
         workload: Optional[Workload] = None,
         telemetry: Optional[Telemetry] = None,
         checkpoint: Optional[CheckpointPolicy] = None,
+        audit=False,
     ) -> "Simulator":
         """Rebuild a mid-run simulator from a checkpoint file (or the
         newest checkpoint under a directory).
@@ -266,7 +284,13 @@ class Simulator:
         payload = read_checkpoint(p)
         cfg = config if config is not None else SimConfig.from_dict(payload["config"])
         verify_identity(payload, cfg, source=str(p))
-        sim = cls(cfg, workload=workload, telemetry=telemetry, checkpoint=checkpoint)
+        sim = cls(
+            cfg,
+            workload=workload,
+            telemetry=telemetry,
+            checkpoint=checkpoint,
+            audit=audit,
+        )
         sim.workload_spec = payload.get("workload")
         sim.load_state_dict(payload["state"])
         return sim
@@ -276,6 +300,9 @@ def run_simulation(
     config: SimConfig,
     workload: Optional[Workload] = None,
     check_invariants: bool = False,
+    audit=False,
 ) -> SimResult:
     """One-call convenience wrapper: build a simulator and run it."""
-    return Simulator(config, workload).run(check_invariants=check_invariants)
+    return Simulator(config, workload, audit=audit).run(
+        check_invariants=check_invariants
+    )

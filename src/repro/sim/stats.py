@@ -175,9 +175,40 @@ class StatsCollector:
                 self._pending_packets[flit.packet_id] = remaining
 
     def record_drop(self, flit: Flit) -> None:
+        """An in-flight drop that will be retransmitted (SCARAB).
+
+        The flit stays pending: SCARAB's ``_drop`` structurally pairs every
+        ``record_drop`` with ``queue_retransmit`` at the source, so the
+        packet's ``_pending_packets`` entry (and ``measured_pending``, which
+        gates the engine's drain loop) must not be released here — the
+        auditor's conservation walk enforces that pairing every cycle.  A
+        design that drops a flit *terminally* must call
+        :meth:`record_terminal_drop` instead, or the drain loop would wait
+        forever for a packet that can no longer complete.
+        """
         self.total_dropped_flits += 1
         if flit.measured:
             self.drops += 1
+
+    def record_terminal_drop(self, flit: Flit) -> None:
+        """A drop with no retransmission: the packet can never complete.
+
+        Releases the packet's reassembly state so latency/energy averages
+        skip it and — critically — decrements ``measured_pending`` so the
+        engine's drain loop terminates.  No in-tree design drops
+        terminally (SCARAB always retransmits); this is the documented
+        hook for lossy plugin designs.
+        """
+        self.total_dropped_flits += 1
+        if flit.measured:
+            self.drops += 1
+        if flit.packet_id in self._pending_packets:
+            del self._pending_packets[flit.packet_id]
+            self._packet_birth.pop(flit.packet_id, None)
+            self._packet_energy.pop(flit.packet_id, None)
+            measured = self._packet_measured.pop(flit.packet_id, False)
+            if measured:
+                self.measured_pending -= 1
 
     # ------------------------------------------------------------------
     # checkpointing
@@ -350,12 +381,19 @@ class SimResult:
         """Average network energy per completed packet (the Fig 6/8/10
         metric).  Computed from exact per-packet accounting so packets still
         in flight bias neither the numerator nor the denominator; falls back
-        to the aggregate ratio when no measured packet completed."""
+        to the aggregate ratio when no measured packet completed.
+
+        The fallback divides by the *measured* completion count: the energy
+        totals only accumulate for measured flits, so dividing by
+        ``packets_completed`` (which also counts unmeasured warmup/drain
+        packets) would understate the per-packet energy of any run with a
+        nonzero warmup.
+        """
         if self.avg_packet_energy_nj > 0.0:
             return self.avg_packet_energy_nj
-        if self.packets_completed == 0:
+        if self.measured_packets_completed == 0:
             return 0.0
-        return self.total_energy_nj / self.packets_completed
+        return self.total_energy_nj / self.measured_packets_completed
 
     @property
     def energy_per_flit_pj(self) -> float:

@@ -225,3 +225,24 @@ class TestFormat:
     def test_resume_from_empty_dir(self, tmp_path):
         with pytest.raises(CheckpointError, match="no checkpoints"):
             Simulator.resume_from(tmp_path)
+
+    def test_drifted_fault_signature_refused(self, tmp_path):
+        """A checkpoint taken under one fault plan must not resume into a
+        network whose deterministically rebuilt plan differs (e.g. a numpy
+        RNG behaviour change): the stored ``fault_signature`` is compared
+        on load and a drift raises a clear error instead of silently
+        diverging."""
+        cfg = tiny(design="dxbar_dor", faults=FaultConfig(percent=50.0))
+        sim = Simulator(cfg, checkpoint=CheckpointPolicy(tmp_path, every=0))
+        sim.run()
+        path = sim.save_checkpoint(tmp_path / "final.json")
+        payload = json.loads(path.read_text())
+        sig = payload["state"]["network"]["fault_signature"]
+        assert sig, "fault plan should be non-empty at 50%"
+        # Tamper with one router's fault record: same config hash (the
+        # config is untouched), drifted realised plan.
+        first = next(iter(sig.values()))
+        first["manifest_cycle"] += 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="fault plan does not match"):
+            Simulator.resume_from(path)

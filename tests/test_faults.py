@@ -77,3 +77,32 @@ class TestFaultPlan:
         a = FaultPlan(FaultConfig(percent=50, seed=1), 64).faulty_nodes
         b = FaultPlan(FaultConfig(percent=50, seed=2), 64).faulty_nodes
         assert a != b
+
+    @pytest.mark.parametrize(
+        "num_routers,expected",
+        [(9, 5), (3, 2), (64, 32), (16, 8), (25, 13)],
+    )
+    def test_half_up_rounding(self, num_routers, expected):
+        """50% always rounds half *up*.  The old ``int(round(...))`` used
+        banker's rounding: 50% of 9 routers gave 4 while 50% of 3 gave 2 —
+        the even/odd parity of the product decided the direction."""
+        plan = FaultPlan(FaultConfig(percent=50), num_routers)
+        assert len(plan) == expected
+
+    def test_counts_monotone_in_percent(self):
+        """With half-up rounding the faulty-set size never decreases as the
+        percentage grows, on any mesh size — so nestedness (prefix of one
+        fixed ordering) extends across the whole percentage axis."""
+        for num_routers in (3, 9, 16, 25, 64):
+            sizes = [
+                len(FaultPlan(FaultConfig(percent=p, seed=3), num_routers))
+                for p in range(0, 101, 5)
+            ]
+            assert sizes == sorted(sizes)
+            prev: set = set()
+            for p in (10, 30, 50, 70, 90):
+                nodes = set(
+                    FaultPlan(FaultConfig(percent=p, seed=3), num_routers).faulty_nodes
+                )
+                assert prev <= nodes
+                prev = nodes

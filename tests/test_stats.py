@@ -136,6 +136,50 @@ class TestPacketReassembly:
         assert s.packets_completed == 0
 
 
+class TestDrops:
+    def test_record_drop_keeps_packet_pending(self):
+        """SCARAB semantics: a dropped flit will be retransmitted, so the
+        packet stays pending and still completes on the retransmitted
+        ejection."""
+        s = StatsCollector(4)
+        s.set_window(0, 100)
+        s.record_packet_injection(7, cycle=0, num_flits=1, measured=True)
+        s.record_drop(_flit(pid=7))
+        assert s.measured_pending == 1
+        assert s.drops == 1
+        s.record_ejection(_flit(pid=7), cycle=9)
+        assert s.packets_completed == 1
+        assert s.measured_pending == 0
+
+    def test_terminal_drop_releases_pending(self):
+        """A terminal drop (no retransmission) must release the packet's
+        reassembly state — above all ``measured_pending``, which gates the
+        engine's drain loop."""
+        s = StatsCollector(4)
+        s.set_window(0, 100)
+        s.record_packet_injection(7, cycle=0, num_flits=2, measured=True)
+        assert s.measured_pending == 1
+        s.record_terminal_drop(_flit(fid=0, pid=7, num_flits=2, idx=0))
+        assert s.measured_pending == 0
+        assert s.total_dropped_flits == 1
+        assert s.drops == 1
+        # A straggler sibling flit that still gets delivered is harmless:
+        # the packet was written off, nothing double-counts.
+        s.record_ejection(_flit(fid=1, pid=7, num_flits=2, idx=1), cycle=5)
+        assert s.packets_completed == 0
+        assert s.measured_pending == 0
+        assert s.packet_latencies == []
+
+    def test_terminal_drop_of_unmeasured_packet(self):
+        s = StatsCollector(4)
+        s.set_window(0, 100)
+        s.record_packet_injection(3, cycle=0, num_flits=1, measured=False)
+        s.record_terminal_drop(_flit(pid=3, measured=False))
+        assert s.measured_pending == 0
+        assert s.drops == 0  # unmeasured: raw total only
+        assert s.total_dropped_flits == 1
+
+
 class TestResult:
     def _collector(self):
         s = StatsCollector(4)
@@ -201,6 +245,41 @@ class TestResult:
             design="dxbar_dor", offered_load=0.1, capacity=1.0, cycles=10, final_cycle=10
         )
         assert r.buffered_fraction == pytest.approx(0.25)
+
+    def test_energy_fallback_divides_by_measured_completions(self):
+        """Regression: the fallback path divided measured-only energy
+        totals by ``packets_completed``, which also counts unmeasured
+        warmup/drain packets — understating per-packet energy whenever the
+        warmup was nonzero."""
+        s = self._collector()
+        s.packet_latencies = [5] * 5  # 5 measured completions...
+        s.packet_energies_pj = []  # ...but no per-packet energy recorded
+        s.packets_completed = 20  # 15 further unmeasured completions
+        s.energy_xbar_pj = 10_000.0  # 10 nJ, accumulated for measured flits
+        r = s.result(
+            design="dxbar_dor", offered_load=0.1, capacity=1.0, cycles=10, final_cycle=10
+        )
+        assert r.avg_packet_energy_nj == 0.0
+        assert r.measured_packets_completed == 5
+        assert r.packets_completed == 20
+        assert r.energy_per_packet_nj == pytest.approx(10.0 / 5)
+
+    def test_energy_fallback_with_warmup_run(self):
+        """Same bug at integration level: a run with a nonzero warmup has
+        packets_completed > measured_packets_completed, and the fallback
+        must normalise by the measured count."""
+        from dataclasses import replace
+
+        cfg = SimConfig(
+            design="dxbar_dor", k=4, offered_load=0.2, warmup_cycles=100,
+            measure_cycles=300, drain_cycles=400, packet_size=2, seed=3,
+        )
+        r = Simulator(cfg).run()
+        assert r.packets_completed > r.measured_packets_completed > 0
+        fallback = replace(r, avg_packet_energy_nj=0.0)
+        assert fallback.energy_per_packet_nj == pytest.approx(
+            r.total_energy_nj / r.measured_packets_completed
+        )
 
     def test_extra_dict_preserved(self):
         s = self._collector()
