@@ -15,6 +15,14 @@ than the dense walk on any 0.1-offered-load row (the CI perf-smoke gate).
 Each cell reports the median of ``--repeats`` interleaved runs; both
 walks share every run's Python process, so the comparison cancels
 machine-level drift.
+
+``--compare BASELINE`` additionally regression-gates against a previous
+run's JSON (typically the committed ``BENCH_sim_perf.json``): every
+matched row's active-walk cycles/sec must be at least ``--tolerance``
+times the baseline's.  The tolerance is deliberately loose — absolute
+cycles/sec varies wildly across machines, so this only catches
+collapses, not percent-level drift (the dense-vs-active ratio gate above
+stays the precise one).
 """
 
 from __future__ import annotations
@@ -121,10 +129,29 @@ def main(argv=None) -> int:
     ap.add_argument("--check", action="store_true",
                     help="exit 1 if the active walk is slower than dense "
                     "on any 0.1-offered-load row")
+    ap.add_argument("--compare", metavar="BASELINE", default=None,
+                    help="regression-gate against a previous run's JSON: "
+                    "exit 1 when any matched row's active cycles/sec falls "
+                    "below tolerance x baseline")
+    ap.add_argument("--tolerance", type=float, default=0.5,
+                    help="fraction of the baseline's active cycles/sec a "
+                    "row must reach under --compare (default: %(default)s)")
     args = ap.parse_args(argv)
 
     matrix = QUICK_MATRIX if args.quick else FULL_MATRIX
     cycles = args.cycles if args.cycles is not None else (1200 if args.quick else 4000)
+
+    # Load the baseline before any writing: the default --out path is the
+    # baseline path, and comparing against a file we just overwrote would
+    # gate nothing.
+    baseline_rows = {}
+    if args.compare:
+        baseline = json.loads(Path(args.compare).read_text())
+        baseline_rows = {
+            (r["design"], r["pattern"], r["k"], r["offered_load"],
+             r["packet_size"]): r
+            for r in baseline["results"]
+        }
 
     rows = []
     for design, pattern, k, load, ps in matrix:
@@ -161,6 +188,39 @@ def main(argv=None) -> int:
                 )
             return 1
         print("check passed: active >= dense on every 0.1-load row")
+
+    if args.compare:
+        regressions = []
+        matched = 0
+        for row in rows:
+            key = (row["design"], row["pattern"], row["k"],
+                   row["offered_load"], row["packet_size"])
+            base = baseline_rows.get(key)
+            if base is None:
+                continue
+            matched += 1
+            floor = args.tolerance * base["active_cycles_per_sec"]
+            if row["active_cycles_per_sec"] < floor:
+                regressions.append((key, row, base))
+        for key, row, base in regressions:
+            design, pattern, k, load, ps = key
+            print(
+                f"FAIL: {design}/{pattern} k={k} load={load} ps={ps}: "
+                f"active {row['active_cycles_per_sec']:,.0f} c/s < "
+                f"{args.tolerance:.0%} of baseline "
+                f"{base['active_cycles_per_sec']:,.0f} c/s",
+                file=sys.stderr,
+            )
+        if regressions:
+            return 1
+        if matched == 0:
+            print(f"FAIL: no rows of this matrix appear in {args.compare}",
+                  file=sys.stderr)
+            return 1
+        print(
+            f"compare passed: {matched} row(s) within {args.tolerance:.0%} "
+            f"of {args.compare}"
+        )
     return 0
 
 

@@ -73,9 +73,16 @@ def sweep_loads(
     checkpoint_every: int = 0,
     checkpoint_root: Optional[Union[str, Path]] = None,
     audit=False,
+    journal=None,
+    heartbeat_interval: float = 1.0,
     **overrides,
 ) -> SweepResult:
-    """Run ``design`` at each offered load in ``loads``."""
+    """Run ``design`` at each offered load in ``loads``.
+
+    ``journal`` (a directory path or :class:`~repro.obs.Journal`) records
+    the campaign's fleet-telemetry event stream; see
+    :func:`repro.runner.run_specs`.
+    """
     base = base or SimConfig()
     specs = [
         RunSpec(base.with_(design=design, offered_load=load, **overrides))
@@ -89,6 +96,8 @@ def sweep_loads(
         checkpoint_every=checkpoint_every,
         checkpoint_root=checkpoint_root,
         audit=audit,
+        journal=journal,
+        heartbeat_interval=heartbeat_interval,
     )
     return SweepResult(design=design, loads=list(loads), results=_results(outcomes))
 
@@ -104,6 +113,8 @@ def sweep_designs(
     checkpoint_every: int = 0,
     checkpoint_root: Optional[Union[str, Path]] = None,
     audit=False,
+    journal=None,
+    heartbeat_interval: float = 1.0,
     **overrides,
 ) -> Dict[str, SweepResult]:
     """Run every design across the same load grid.
@@ -127,6 +138,8 @@ def sweep_designs(
         checkpoint_every=checkpoint_every,
         checkpoint_root=checkpoint_root,
         audit=audit,
+        journal=journal,
+        heartbeat_interval=heartbeat_interval,
     )
     out: Dict[str, SweepResult] = {}
     for i, d in enumerate(designs):

@@ -6,6 +6,8 @@ Run as ``python -m repro <command>``:
 * ``sweep`` — an offered-load sweep for one or more designs;
 * ``figure`` — regenerate one of the paper's tables/figures;
 * ``splash`` — run one SPLASH-2 trace across designs;
+* ``status`` / ``tail`` — inspect a fleet run journal (one-shot summary
+  / live follow of a running campaign);
 * ``designs`` / ``patterns`` — list what's available.
 
 ``run``, ``sweep`` and ``figure`` accept ``--jobs N`` (process-parallel
@@ -33,6 +35,9 @@ Examples::
     python -m repro run --resume-from ckpts --json
     python -m repro run --design unified_wf --faults 100 --audit
     python -m repro sweep --designs dxbar_dor buffered8 --loads 0.1 0.3 0.5 --jobs 4
+    python -m repro sweep --jobs 4 --journal runs/journal
+    python -m repro status runs/journal
+    python -m repro tail runs/journal --follow
     python -m repro figure fig5 --scale quick --jobs 4 --cache-dir .repro-cache
     python -m repro splash --app Ocean --txns 40
 """
@@ -92,6 +97,21 @@ def _add_runner_args(p: argparse.ArgumentParser) -> None:
     g.add_argument(
         "--cache-dir", metavar="DIR", default=None,
         help="config-hash-keyed result cache; completed runs are skipped",
+    )
+
+
+def _add_journal_args(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("fleet telemetry (repro.obs; off by default)")
+    g.add_argument(
+        "--journal", metavar="DIR",
+        default=os.environ.get("REPRO_JOURNAL_DIR") or None,
+        help="append lifecycle + heartbeat events to a sharded run journal "
+             "under DIR (default: $REPRO_JOURNAL_DIR); inspect with "
+             "'repro status DIR' / 'repro tail DIR --follow'",
+    )
+    g.add_argument(
+        "--heartbeat-interval", type=float, default=1.0, metavar="SEC",
+        help="wall-clock seconds between journal heartbeats (default 1.0)",
     )
 
 
@@ -218,7 +238,25 @@ def cmd_run(args) -> int:
     if args.resume_from:
         sim = _resume_simulator(args)
         config = sim.config
-        result = sim.run()
+        writer = None
+        if args.journal:
+            # Resumed runs bypass run_specs, so attach the journal here:
+            # one driver shard, job keyed by config hash like the runner's.
+            from .obs.journal import EV_JOB_STARTED, JobJournal, as_journal
+
+            writer = as_journal(args.journal).writer(f"driver-{os.getpid()}")
+            sim.journal = JobJournal(
+                writer, config.config_hash(),
+                heartbeat_interval=args.heartbeat_interval,
+            )
+            sim.journal.event(
+                EV_JOB_STARTED, attempt=1, pid=os.getpid(), cycle=sim.network.cycle
+            )
+        try:
+            result = sim.run()
+        finally:
+            if writer is not None:
+                writer.close()
         cached = False
     else:
         config = _config_from(args)
@@ -228,6 +266,8 @@ def cmd_run(args) -> int:
             checkpoint_every=args.checkpoint_every,
             checkpoint_root=args.checkpoint_dir,
             audit=_audit_from(args),
+            journal=args.journal,
+            heartbeat_interval=args.heartbeat_interval,
         )[0]
         if not outcome.ok:
             print(f"repro run: job failed: {outcome.error}", file=sys.stderr)
@@ -275,6 +315,8 @@ def cmd_sweep(args) -> int:
         checkpoint_every=args.checkpoint_every,
         checkpoint_root=args.checkpoint_dir,
         audit=_audit_from(args),
+        journal=args.journal,
+        heartbeat_interval=args.heartbeat_interval,
     )
     if args.json:
         payload = {
@@ -353,6 +395,42 @@ def cmd_splash(args) -> int:
     return 0
 
 
+def cmd_status(args) -> int:
+    from .obs import campaign_status, fleet_metrics, merge_journal, render_status
+
+    path = Path(args.journal)
+    if not path.exists():
+        print(f"repro status: no journal at {path}", file=sys.stderr)
+        return 1
+    events = merge_journal(path)
+    status = campaign_status(events)
+    metrics = fleet_metrics(events)
+    if args.json:
+        print(json.dumps({"campaign": status.to_dict(), "metrics": metrics.to_dict()}))
+        return 0
+    print(render_status(status, metrics, max_rows=args.rows))
+    return 0
+
+
+def cmd_tail(args) -> int:
+    import time as _time
+
+    from .obs import campaign_status, merge_journal, render_tail
+
+    path = Path(args.journal)
+    if not path.exists() and not args.follow:
+        print(f"repro tail: no journal at {path}", file=sys.stderr)
+        return 1
+    while True:
+        events = merge_journal(path) if path.exists() else []
+        status = campaign_status(events)
+        print(render_tail(status, events, lines=args.lines))
+        if not args.follow or status.finished:
+            return 0
+        _time.sleep(args.interval)
+        print()
+
+
 def cmd_designs(args) -> int:
     for d in design_names():
         print(f"{d:12s} {DESIGN_LABELS[d]}")
@@ -373,6 +451,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="run one simulation")
     _add_sim_args(p)
     _add_runner_args(p)
+    _add_journal_args(p)
     _add_checkpoint_args(p, resume=True)
     _add_telemetry_args(p)
     _add_audit_args(p)
@@ -383,6 +462,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="offered-load sweep")
     _add_sim_args(p)
     _add_runner_args(p)
+    _add_journal_args(p)
     _add_checkpoint_args(p)
     _add_audit_args(p)
     p.add_argument("--designs", nargs="+", default=["dxbar_dor", "buffered4"],
@@ -404,6 +484,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--designs", nargs="+", default=None, choices=design_names())
     p.set_defaults(func=cmd_splash)
+
+    p = sub.add_parser("status", help="summarise a fleet run journal")
+    p.add_argument("journal", help="journal directory (or one shard file)")
+    p.add_argument("--json", action="store_true",
+                   help="print the campaign + fleet metrics as one JSON object")
+    p.add_argument("--rows", type=int, default=40, metavar="N",
+                   help="cap on per-job table rows (default 40)")
+    p.set_defaults(func=cmd_status)
+
+    p = sub.add_parser("tail", help="compact live view of a run journal")
+    p.add_argument("journal", help="journal directory (or one shard file)")
+    p.add_argument("--follow", "-f", action="store_true",
+                   help="keep re-rendering until every job is terminal")
+    p.add_argument("--interval", type=float, default=2.0, metavar="SEC",
+                   help="seconds between --follow refreshes (default 2.0)")
+    p.add_argument("--lines", type=int, default=10, metavar="N",
+                   help="recent non-heartbeat events to show (default 10)")
+    p.set_defaults(func=cmd_tail)
 
     p = sub.add_parser("designs", help="list router designs")
     p.set_defaults(func=cmd_designs)

@@ -16,13 +16,49 @@ so the simulation hot loop pays a single ``if`` per potential event:
 * **profiling** (:mod:`repro.obs.profile`): wall-clock timing of the
   ``workload.tick`` / ``network.step`` / stats phases of a run.
 
+Above the single-run layers sits the **fleet telemetry** stack:
+
+* **run journal** (:mod:`repro.obs.journal`): a crash-safe, sharded
+  append-only JSONL event stream (job lifecycle, heartbeats, retries,
+  checkpoints, audit violations) written by the campaign driver and every
+  pool worker, merged deterministically on read;
+* **fleet metrics** (:mod:`repro.obs.fleet`): counters/gauges/histograms
+  aggregated from the journal (jobs by state, retry/cache-hit rates,
+  cycles/sec distribution, queue depth);
+* **status views** (:mod:`repro.obs.status`): the per-job state machines
+  and text renderers behind ``repro status`` and ``repro tail``.
+
 See ``docs/observability.md`` for the event schema and column reference.
 """
 
 from .counters import COUNTER_FIELDS, RouterCounters, merge_counters
 from .facade import Telemetry
+from .fleet import Counter, Gauge, Histogram, MetricsRegistry, fleet_metrics
+from .journal import (
+    EV_AUDIT_VIOLATION,
+    EV_CACHE_HIT,
+    EV_CACHE_QUARANTINE,
+    EV_CAMPAIGN,
+    EV_CHECKPOINTED,
+    EV_COMPLETED,
+    EV_FAILED,
+    EV_HEARTBEAT,
+    EV_JOB_STARTED,
+    EV_JOB_SUBMITTED,
+    EV_RETRY,
+    JOURNAL_EVENTS,
+    JOURNAL_SCHEMA_VERSION,
+    HeartbeatEmitter,
+    JobJournal,
+    Journal,
+    JournalWriter,
+    as_journal,
+    merge_journal,
+    read_journal_shard,
+)
 from .metrics import IntervalMetrics, MetricsFrame, load_metrics
 from .profile import PhaseProfiler
+from .status import CampaignStatus, JobStatus, campaign_status, render_status, render_tail
 from .trace import (
     EVENTS,
     EV_ARB_LOSE,
@@ -56,6 +92,37 @@ __all__ = [
     "MetricsFrame",
     "load_metrics",
     "PhaseProfiler",
+    # fleet telemetry
+    "Journal",
+    "JournalWriter",
+    "JobJournal",
+    "HeartbeatEmitter",
+    "as_journal",
+    "merge_journal",
+    "read_journal_shard",
+    "JOURNAL_EVENTS",
+    "JOURNAL_SCHEMA_VERSION",
+    "EV_CAMPAIGN",
+    "EV_JOB_SUBMITTED",
+    "EV_JOB_STARTED",
+    "EV_HEARTBEAT",
+    "EV_CHECKPOINTED",
+    "EV_RETRY",
+    "EV_CACHE_HIT",
+    "EV_COMPLETED",
+    "EV_FAILED",
+    "EV_AUDIT_VIOLATION",
+    "EV_CACHE_QUARANTINE",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "fleet_metrics",
+    "CampaignStatus",
+    "JobStatus",
+    "campaign_status",
+    "render_status",
+    "render_tail",
     "Tracer",
     "NullSink",
     "RingBufferSink",

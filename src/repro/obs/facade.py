@@ -82,6 +82,10 @@ class Telemetry:
     def load_state_dict(self, state: dict) -> None:
         if self.metrics is not None and state.get("metrics") is not None:
             self.metrics.load_state_dict(state["metrics"])
+        # A facade restored into a resumed run is mid-run again by
+        # definition — re-arm finish() even if a crashed earlier attempt
+        # (or a defensive caller) already ran it on this instance.
+        self._finished = False
 
     def finish(self, network, final_cycle: int) -> None:
         """End-of-run hook: flush the trailing metrics interval, persist
@@ -96,3 +100,16 @@ class Telemetry:
                 self.metrics.save(self.metrics_path)
         if self.trace is not None:
             self.trace.close()
+
+    def close(self) -> None:
+        """Release held resources without finalising metrics — the escape
+        hatch for callers that never ran (or lost) the network."""
+        self._finished = True
+        if self.trace is not None:
+            self.trace.close()
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,203 @@
+"""Fleet-level metrics aggregated from a run journal.
+
+A :class:`MetricsRegistry` is a small named-instrument store — counters,
+gauges and histograms — deliberately shaped like the usual
+metrics-library surface so campaign drivers can also feed it directly.
+:func:`fleet_metrics` builds one from a merged journal event stream (see
+:mod:`repro.obs.journal`): jobs by state, retry and cache-hit rates, the
+cycles/sec distribution across every worker's heartbeats, and the
+current queue depth.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from .journal import (
+    EV_AUDIT_VIOLATION,
+    EV_CACHE_HIT,
+    EV_CACHE_QUARANTINE,
+    EV_CHECKPOINTED,
+    EV_COMPLETED,
+    EV_FAILED,
+    EV_HEARTBEAT,
+    EV_JOB_STARTED,
+    EV_JOB_SUBMITTED,
+    EV_RETRY,
+)
+
+
+class Counter:
+    """A monotonically-increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value (may go up or down)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A distribution of observed samples.
+
+    Keeps the raw samples (campaign-scale cardinality, not hot-loop
+    cardinality) so exact quantiles are available to the status views.
+    """
+
+    __slots__ = ("samples",)
+
+    def __init__(self) -> None:
+        self.samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.samples) if self.samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 100]; 0.0 when empty."""
+        if not self.samples:
+            return 0.0
+        if not (0.0 <= p <= 100.0):
+            raise ValueError("percentile must be in [0, 100]")
+        ordered = sorted(self.samples)
+        rank = min(len(ordered) - 1, max(0, round(p / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def summary(self) -> Dict[str, float]:
+        if not self.samples:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": min(self.samples),
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "max": max(self.samples),
+        }
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram()
+        return h
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable snapshot (the ``repro status --json`` block)."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {
+                k: h.summary() for k, h in sorted(self._histograms.items())
+            },
+        }
+
+
+#: journal event -> fleet counter name (1:1 tally instruments).
+_EVENT_COUNTERS = {
+    EV_JOB_SUBMITTED: "jobs_submitted",
+    EV_JOB_STARTED: "job_attempts",
+    EV_RETRY: "retries",
+    EV_CACHE_HIT: "cache_hits",
+    EV_COMPLETED: "jobs_completed",
+    EV_FAILED: "jobs_failed",
+    EV_HEARTBEAT: "heartbeats",
+    EV_CHECKPOINTED: "checkpoints",
+    EV_AUDIT_VIOLATION: "audit_violations",
+    EV_CACHE_QUARANTINE: "cache_quarantines",
+}
+
+
+def fleet_metrics(events: Iterable[Dict[str, Any]]) -> MetricsRegistry:
+    """Aggregate a merged journal event stream into a registry.
+
+    Derived instruments beyond the per-event tallies:
+
+    * gauge ``jobs_running`` — jobs whose last lifecycle event is a
+      (re)start or heartbeat;
+    * gauge ``queue_depth`` — submitted jobs that have neither started
+      nor terminated (the backlog a saturated worker pool exposes);
+    * gauge ``retry_rate`` — retries / attempts, ``cache_hit_rate`` —
+      hits / submitted;
+    * histogram ``cycles_per_sec`` — every heartbeat's measured rate.
+    """
+    registry = MetricsRegistry()
+    state: Dict[str, str] = {}
+    for record in events:
+        event = record.get("event")
+        name = _EVENT_COUNTERS.get(event)
+        if name is not None:
+            registry.counter(name).inc()
+        job: Optional[str] = record.get("job")
+        if event == EV_HEARTBEAT:
+            cps = record.get("cps")
+            if cps is not None:
+                registry.histogram("cycles_per_sec").observe(float(cps))
+        if job is None:
+            continue
+        if event == EV_JOB_SUBMITTED:
+            state.setdefault(job, "queued")
+        elif event in (EV_JOB_STARTED, EV_HEARTBEAT, EV_RETRY):
+            state[job] = "running"
+        elif event in (EV_COMPLETED, EV_FAILED, EV_CACHE_HIT):
+            state[job] = "done"
+    registry.gauge("jobs_running").set(sum(1 for s in state.values() if s == "running"))
+    registry.gauge("queue_depth").set(sum(1 for s in state.values() if s == "queued"))
+    attempts = registry.counter("job_attempts").value
+    submitted = registry.counter("jobs_submitted").value
+    registry.gauge("retry_rate").set(
+        registry.counter("retries").value / attempts if attempts else 0.0
+    )
+    registry.gauge("cache_hit_rate").set(
+        registry.counter("cache_hits").value / submitted if submitted else 0.0
+    )
+    return registry

@@ -44,3 +44,9 @@ class PhaseProfiler:
                 self._seconds.items(), key=lambda kv: kv[1], reverse=True
             )
         }
+
+    def to_dict(self) -> Dict[str, dict]:
+        """JSON-serialisable snapshot — the ``profile`` section of
+        ``SimResult.to_dict()`` / ``repro run --json``.  Same shape as
+        :meth:`report`."""
+        return self.report()

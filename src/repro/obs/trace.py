@@ -116,6 +116,14 @@ class JsonlSink:
         if not self._fh.closed:
             self._fh.close()
 
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        # Close (which flushes) even when the run died mid-write, so the
+        # trace file holds every record emitted before the exception.
+        self.close()
+
 
 class Tracer:
     """Shapes events into records and forwards them to the sink."""
@@ -140,6 +148,12 @@ class Tracer:
 
     def close(self) -> None:
         self.sink.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 # ----------------------------------------------------------------------

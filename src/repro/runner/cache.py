@@ -34,6 +34,10 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self._warned_corrupt = False
+        # Optional JournalWriter: when a campaign driver attaches one,
+        # quarantines become ``cache_quarantine`` journal events instead
+        # of (or in addition to) the one-shot RuntimeWarning.
+        self.journal = None
 
     # ------------------------------------------------------------------
     def _path(self, job_id: str) -> Path:
@@ -83,6 +87,13 @@ class ResultCache:
             path.replace(target)
         except OSError:
             return  # a concurrent process already moved/removed it
+        if self.journal is not None:
+            from ..obs.journal import EV_CACHE_QUARANTINE
+
+            self.journal.write(
+                EV_CACHE_QUARANTINE, file=path.name, quarantined=target.name
+            )
+            return
         if not self._warned_corrupt:
             self._warned_corrupt = True
             warnings.warn(

@@ -21,6 +21,16 @@ per-figure experiment drivers and the CLI.  Guarantees:
   :class:`RunOutcome` with ``error`` set (and ``result`` None); other jobs
   complete normally.
 
+* **Telemetry** — with a ``journal`` (a directory path or
+  :class:`~repro.obs.journal.Journal`), the driver and every worker
+  append structured lifecycle events (``job_submitted`` / ``job_started``
+  / ``heartbeat`` / ``checkpointed`` / ``retry`` / ``cache_hit`` /
+  ``completed`` / ``failed`` / ``audit_violation``) to their own JSONL
+  shard, so a campaign is observable while running (``repro tail``) and
+  explainable after a crash (``repro status``).  The journal is a pure
+  observer: journal-enabled runs are bit-exact with journal-disabled
+  ones.
+
 Workers receive jobs as plain dicts (``RunSpec.describe()`` wrapped with
 the execution options), which keeps the process boundary free of pickling
 surprises; plugin modules named in ``plugins`` are imported in each worker
@@ -31,7 +41,9 @@ before any job runs so that out-of-tree registry entries resolve under the
 from __future__ import annotations
 
 import importlib
+import os
 import time
+import warnings
 from concurrent.futures import (
     FIRST_COMPLETED,
     BrokenExecutor,
@@ -45,6 +57,20 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set,
 from ..audit import AuditViolation, _as_audit_config
 from ..checkpoint.format import CheckpointError, list_checkpoints
 from ..checkpoint.policy import CheckpointPolicy
+from ..obs.journal import (
+    EV_AUDIT_VIOLATION,
+    EV_CACHE_HIT,
+    EV_CAMPAIGN,
+    EV_COMPLETED,
+    EV_FAILED,
+    EV_JOB_STARTED,
+    EV_JOB_SUBMITTED,
+    EV_RETRY,
+    Journal,
+    JobJournal,
+    JournalWriter,
+    as_journal,
+)
 from ..sim.config import SimConfig
 from ..sim.engine import Simulator
 from ..sim.stats import SimResult
@@ -92,6 +118,8 @@ def execute_spec(
     checkpoint_every: int = 0,
     checkpoint_dir: Optional[Union[str, Path]] = None,
     audit=False,
+    journal: Optional[JobJournal] = None,
+    attempt: int = 1,
 ) -> SimResult:
     """Run one job in this process and return its result.
 
@@ -103,9 +131,17 @@ def execute_spec(
     ``audit`` (False, True or an :class:`~repro.audit.AuditConfig`) runs
     the job under the per-cycle invariant auditor; a violation raises
     :class:`~repro.audit.AuditViolation` out of this call.
+
+    ``journal`` (a :class:`~repro.obs.journal.JobJournal`) records the
+    attempt's lifecycle: a ``job_started`` event here (carrying
+    ``attempt``, the executing pid and the start cycle — nonzero when the
+    attempt resumed from a checkpoint), heartbeats and ``checkpointed``
+    events from inside the run, and an ``audit_violation`` event when the
+    auditor aborts the job.
     """
     workload = materialize_workload(spec.workload, spec.config)
     policy = None
+    sim = None
     if checkpoint_dir is not None:
         policy = CheckpointPolicy(checkpoint_dir, every=checkpoint_every)
         for path in reversed(list_checkpoints(policy.root)):
@@ -116,14 +152,33 @@ def execute_spec(
                     workload=workload,
                     checkpoint=policy,
                     audit=audit,
+                    journal=journal,
                 )
             except CheckpointError:
                 continue  # torn/foreign snapshot: try the next-oldest
-            sim.workload_spec = dict(spec.workload) if spec.workload else None
-            return sim.run(check_invariants=check_invariants)
-    sim = Simulator(spec.config, workload=workload, checkpoint=policy, audit=audit)
+            break
+    if sim is None:
+        sim = Simulator(
+            spec.config, workload=workload, checkpoint=policy, audit=audit,
+            journal=journal,
+        )
     sim.workload_spec = dict(spec.workload) if spec.workload else None
-    return sim.run(check_invariants=check_invariants)
+    if journal is not None:
+        journal.event(
+            EV_JOB_STARTED, attempt=attempt, pid=os.getpid(), cycle=sim.network.cycle
+        )
+    try:
+        return sim.run(check_invariants=check_invariants)
+    except AuditViolation as exc:
+        if journal is not None:
+            journal.event(
+                EV_AUDIT_VIOLATION,
+                check=exc.check,
+                cycle=exc.cycle,
+                node=exc.node,
+                message=exc.message,
+            )
+        raise
 
 
 # ----------------------------------------------------------------------
@@ -134,8 +189,32 @@ def _init_worker(plugins: Tuple[str, ...]) -> None:
         importlib.import_module(module)
 
 
+#: Per-process journal shard writers, keyed by journal directory.  A pool
+#: worker runs many jobs over its lifetime; they all append to the same
+#: ``worker-<pid>.jsonl`` shard, so no two processes ever share a file.
+_WORKER_WRITERS: Dict[str, JournalWriter] = {}
+
+
+def _worker_writer(journal_dir: str) -> JournalWriter:
+    writer = _WORKER_WRITERS.get(journal_dir)
+    if writer is None:
+        name = f"worker-{os.getpid()}"
+        writer = _WORKER_WRITERS[journal_dir] = JournalWriter(
+            Path(journal_dir) / f"{name}.jsonl", source=name
+        )
+    return writer
+
+
 def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     spec = RunSpec.from_dict(payload["spec"])
+    journal = None
+    journal_dir = payload.get("journal_dir")
+    if journal_dir is not None:
+        journal = JobJournal(
+            _worker_writer(journal_dir),
+            spec.job_id(),
+            heartbeat_interval=payload.get("heartbeat_interval", 1.0),
+        )
     return execute_spec(
         spec,
         check_invariants=payload.get("check_invariants", False),
@@ -144,6 +223,8 @@ def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         # Crosses the process boundary as False/True/dict; execute_spec's
         # coercion (via Simulator) accepts all three.
         audit=payload.get("audit", False),
+        journal=journal,
+        attempt=payload.get("attempt", 1),
     ).to_dict()
 
 
@@ -152,6 +233,26 @@ def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
 # ----------------------------------------------------------------------
 def _describe_error(exc: BaseException) -> str:
     return f"{type(exc).__name__}: {exc}"
+
+
+def _retry_diag(
+    writer: Optional[JournalWriter], job_id: str, attempt: int, error: str
+) -> None:
+    """Record one about-to-be-retried failure.
+
+    With a journal the diagnostic becomes a ``retry`` event (visible to
+    ``repro status``/``tail``); without one it degrades to a
+    ``RuntimeWarning`` so silently-retried flaky attempts still leave a
+    trace somewhere.
+    """
+    if writer is not None:
+        writer.write(EV_RETRY, job=job_id, attempt=attempt, error=error)
+    else:
+        warnings.warn(
+            f"job {job_id}: attempt {attempt} failed ({error}); retrying",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
 
 def _sleep_backoff(base: float, attempt: int) -> None:
@@ -183,7 +284,7 @@ def run_specs(
     specs: Sequence[RunSpec],
     *,
     jobs: int = 1,
-    cache: Optional[ResultCache] = None,
+    cache: Optional[Union[ResultCache, str, Path]] = None,
     progress: Optional[ProgressFn] = None,
     plugins: Iterable[str] = (),
     check_invariants: bool = False,
@@ -193,12 +294,15 @@ def run_specs(
     checkpoint_every: int = 0,
     checkpoint_root: Optional[Union[str, Path]] = None,
     audit=False,
+    journal: Optional[Union[str, Path, Journal]] = None,
+    heartbeat_interval: float = 1.0,
 ) -> List[RunOutcome]:
     """Execute ``specs`` and return their outcomes in spec order.
 
     ``jobs`` <= 1 runs serially in this process; ``jobs`` > 1 fans the
     non-cached specs out over a :class:`ProcessPoolExecutor` with ``jobs``
-    workers.  ``cache`` enables skip-completed/resume semantics.
+    workers.  ``cache`` (a :class:`ResultCache` or a directory path)
+    enables skip-completed/resume semantics.
     ``progress`` is called after every job (cached ones included) with the
     running completion count.
 
@@ -216,6 +320,14 @@ def run_specs(
     auditor (cache hits are not re-audited); an ``AuditViolation`` is a
     job failure like any other, except it is never retried — the
     simulation is deterministic, so a violation would simply repeat.
+
+    ``journal`` (a directory path or :class:`~repro.obs.journal.Journal`)
+    enables the fleet run journal: the driver appends campaign/submit/
+    cache-hit/retry/terminal events to its own shard, executing processes
+    append start/heartbeat/checkpoint events to theirs, and
+    ``heartbeat_interval`` sets the wall-clock seconds between in-run
+    heartbeats.  Purely observational — results are bit-identical with
+    and without it.
     """
     specs = list(specs)
     if jobs < 0:
@@ -223,27 +335,20 @@ def run_specs(
     if retries < 0:
         raise ValueError("retries must be >= 0")
     plugins = tuple(plugins)
+    if cache is not None and not isinstance(cache, ResultCache):
+        cache = ResultCache(cache)
     total = len(specs)
     outcomes: List[Optional[RunOutcome]] = [None] * total
     done = 0
+
+    jr = as_journal(journal)
+    writer = jr.writer(f"driver-{os.getpid()}") if jr is not None else None
 
     def _report(outcome: RunOutcome) -> None:
         nonlocal done
         done += 1
         if progress is not None:
             progress(done, total, outcome)
-
-    # Resolve cache hits first so a resumed campaign only pays for the
-    # missing cells of its grid, and deduplicate identical specs within
-    # the batch (they share one execution).
-    pending: Dict[str, List[int]] = {}
-    for i, spec in enumerate(specs):
-        hit = cache.get(spec) if cache is not None else None
-        if hit is not None:
-            outcomes[i] = RunOutcome(spec=spec, result=SimResult.from_dict(hit), cached=True)
-            _report(outcomes[i])
-        else:
-            pending.setdefault(spec.job_id(), []).append(i)
 
     def _ckpt_dir(key: str) -> Optional[str]:
         if checkpoint_root is None:
@@ -253,6 +358,13 @@ def run_specs(
     def _finish(indexes: List[int], result: SimResult, attempts: int) -> None:
         if cache is not None:
             cache.put(specs[indexes[0]], result.to_dict())
+        if writer is not None:
+            writer.write(
+                EV_COMPLETED,
+                job=specs[indexes[0]].job_id(),
+                attempts=attempts,
+                cycles=result.final_cycle,
+            )
         for j, i in enumerate(indexes):
             outcomes[i] = RunOutcome(
                 spec=specs[i], result=result, cached=j > 0, attempts=attempts
@@ -260,55 +372,122 @@ def run_specs(
             _report(outcomes[i])
 
     def _fail(indexes: List[int], error: str, attempts: int) -> None:
+        if writer is not None:
+            writer.write(
+                EV_FAILED,
+                job=specs[indexes[0]].job_id(),
+                error=error,
+                attempts=attempts,
+            )
         for i in indexes:
             outcomes[i] = RunOutcome(
                 spec=specs[i], result=None, error=error, attempts=attempts
             )
             _report(outcomes[i])
 
-    audit_payload: Any = audit
-    audit_config = _as_audit_config(audit)
-    if audit_config is not None:
-        audit_payload = audit_config.to_dict()
+    def _submitted(spec: RunSpec, key: str) -> None:
+        if writer is not None:
+            wl = spec.workload.get("kind") if spec.workload else None
+            writer.write(
+                EV_JOB_SUBMITTED,
+                job=key,
+                design=spec.config.design,
+                pattern=spec.config.pattern,
+                load=spec.config.offered_load,
+                tag=spec.tag,
+                workload=wl,
+            )
 
-    if jobs <= 1 or len(pending) <= 1:
-        for key, indexes in pending.items():
-            attempt = 0
-            while True:
-                attempt += 1
-                try:
-                    result = execute_spec(
-                        specs[indexes[0]],
-                        check_invariants=check_invariants,
-                        checkpoint_every=checkpoint_every,
-                        checkpoint_dir=_ckpt_dir(key),
-                        audit=audit,
-                    )
-                except Exception as exc:
-                    if attempt > retries or isinstance(exc, AuditViolation):
-                        _fail(indexes, _describe_error(exc), attempt)
+    # While this campaign runs, cache self-check quarantines are routed
+    # into the journal as well (restored afterwards).
+    prev_cache_journal = getattr(cache, "journal", None)
+    if cache is not None and writer is not None:
+        cache.journal = writer
+
+    try:
+        if writer is not None:
+            writer.write(EV_CAMPAIGN, total_specs=total, jobs=jobs)
+
+        # Resolve cache hits first so a resumed campaign only pays for the
+        # missing cells of its grid, and deduplicate identical specs within
+        # the batch (they share one execution).
+        pending: Dict[str, List[int]] = {}
+        for i, spec in enumerate(specs):
+            hit = cache.get(spec) if cache is not None else None
+            if hit is not None:
+                key = spec.job_id()
+                _submitted(spec, key)
+                if writer is not None:
+                    writer.write(EV_CACHE_HIT, job=key)
+                outcomes[i] = RunOutcome(
+                    spec=spec, result=SimResult.from_dict(hit), cached=True
+                )
+                _report(outcomes[i])
+            else:
+                key = spec.job_id()
+                if key not in pending:
+                    _submitted(spec, key)
+                pending.setdefault(key, []).append(i)
+
+        audit_payload: Any = audit
+        audit_config = _as_audit_config(audit)
+        if audit_config is not None:
+            audit_payload = audit_config.to_dict()
+
+        if jobs <= 1 or len(pending) <= 1:
+            for key, indexes in pending.items():
+                attempt = 0
+                jobj = (
+                    JobJournal(writer, key, heartbeat_interval=heartbeat_interval)
+                    if writer is not None
+                    else None
+                )
+                while True:
+                    attempt += 1
+                    try:
+                        result = execute_spec(
+                            specs[indexes[0]],
+                            check_invariants=check_invariants,
+                            checkpoint_every=checkpoint_every,
+                            checkpoint_dir=_ckpt_dir(key),
+                            audit=audit,
+                            journal=jobj,
+                            attempt=attempt,
+                        )
+                    except Exception as exc:
+                        if attempt > retries or isinstance(exc, AuditViolation):
+                            _fail(indexes, _describe_error(exc), attempt)
+                            break
+                        _retry_diag(writer, key, attempt, _describe_error(exc))
+                        _sleep_backoff(retry_backoff, attempt)
+                        # execute_spec resumes from this job's checkpoints.
+                    else:
+                        _finish(indexes, result, attempt)
                         break
-                    _sleep_backoff(retry_backoff, attempt)
-                    # execute_spec resumes from this job's checkpoints.
-                else:
-                    _finish(indexes, result, attempt)
-                    break
-    else:
-        _run_parallel(
-            specs,
-            pending,
-            jobs=jobs,
-            plugins=plugins,
-            check_invariants=check_invariants,
-            retries=retries,
-            retry_backoff=retry_backoff,
-            job_timeout=job_timeout,
-            checkpoint_every=checkpoint_every,
-            audit=audit_payload,
-            ckpt_dir=_ckpt_dir,
-            finish=_finish,
-            fail=_fail,
-        )
+        else:
+            _run_parallel(
+                specs,
+                pending,
+                jobs=jobs,
+                plugins=plugins,
+                check_invariants=check_invariants,
+                retries=retries,
+                retry_backoff=retry_backoff,
+                job_timeout=job_timeout,
+                checkpoint_every=checkpoint_every,
+                audit=audit_payload,
+                ckpt_dir=_ckpt_dir,
+                finish=_finish,
+                fail=_fail,
+                writer=writer,
+                journal_root=jr,
+                heartbeat_interval=heartbeat_interval,
+            )
+    finally:
+        if cache is not None and writer is not None:
+            cache.journal = prev_cache_journal
+        if writer is not None:
+            writer.close()
 
     return [o for o in outcomes if o is not None]
 
@@ -328,6 +507,9 @@ def _run_parallel(
     ckpt_dir: Callable[[str], Optional[str]],
     finish: Callable[[List[int], SimResult, int], None],
     fail: Callable[[List[int], str, int], None],
+    writer: Optional[JournalWriter] = None,
+    journal_root: Optional[Journal] = None,
+    heartbeat_interval: float = 1.0,
 ) -> None:
     """Round-based fault-tolerant fan-out.
 
@@ -361,6 +543,11 @@ def _run_parallel(
                     "checkpoint_every": checkpoint_every,
                     "checkpoint_dir": ckpt_dir(key),
                     "audit": audit,
+                    "journal_dir": (
+                        str(journal_root.root) if journal_root is not None else None
+                    ),
+                    "heartbeat_interval": heartbeat_interval,
+                    "attempt": attempts[key],
                 }
                 fut = pool.submit(_execute_payload, payload)
                 futures[fut] = key
@@ -397,7 +584,11 @@ def _run_parallel(
                     except Exception as exc:
                         if attempts[key] > retries or isinstance(exc, AuditViolation):
                             fail(jobs_left.pop(key), _describe_error(exc), attempts[key])
-                        # else: stays in jobs_left for the next round
+                        else:
+                            # Stays in jobs_left for the next round.
+                            _retry_diag(
+                                writer, key, attempts[key], _describe_error(exc)
+                            )
                     else:
                         finish(jobs_left.pop(key), result, attempts[key])
         except BrokenExecutor:
@@ -415,6 +606,13 @@ def _run_parallel(
                                 f"TimeoutError: job exceeded job_timeout={job_timeout}s",
                                 attempts[key],
                             )
+                        else:
+                            _retry_diag(
+                                writer,
+                                key,
+                                attempts[key],
+                                f"TimeoutError: exceeded job_timeout={job_timeout}s",
+                            )
                     else:
                         attempts[key] -= 1
             else:
@@ -427,6 +625,13 @@ def _run_parallel(
                             jobs_left.pop(key),
                             "BrokenProcessPool: worker died (crash or external kill)",
                             attempts[key],
+                        )
+                    else:
+                        _retry_diag(
+                            writer,
+                            key,
+                            attempts[key],
+                            "BrokenProcessPool: worker died (crash or external kill)",
                         )
         finally:
             pool.shutdown(wait=False, cancel_futures=True)

@@ -34,6 +34,7 @@ from ..audit import Auditor, _as_audit_config
 from ..checkpoint.policy import CheckpointPolicy
 from ..obs.counters import merge_counters
 from ..obs.facade import Telemetry
+from ..obs.journal import EV_CHECKPOINTED, HeartbeatEmitter, JobJournal
 from ..traffic.generator import BernoulliSynthetic, Workload
 from ..traffic.patterns import make_pattern
 from .config import SimConfig
@@ -51,9 +52,15 @@ class Simulator:
         telemetry: Optional[Telemetry] = None,
         checkpoint: Optional[CheckpointPolicy] = None,
         audit=False,
+        journal: Optional[JobJournal] = None,
     ) -> None:
         self.config = config
         self.checkpoint = checkpoint
+        # Fleet-telemetry journal: when set, the run loop emits wall-clock
+        # heartbeats and save_checkpoint records snapshot events.  A pure
+        # observer — it never touches simulation state, so journal-enabled
+        # runs stay bit-exact with journal-disabled ones.
+        self.journal = journal
         # Workload *spec* dict stored in checkpoints for provenance (set by
         # the runner for spec-built workloads; None for plain Bernoulli).
         self.workload_spec: Optional[Dict[str, Any]] = None
@@ -106,6 +113,9 @@ class Simulator:
         interval = metrics.interval if metrics is not None else 0
         policy = self.checkpoint
         auditor = self.auditor
+        heartbeat = (
+            HeartbeatEmitter(self.journal) if self.journal is not None else None
+        )
         # Resumed simulators enter mid-run; fresh ones at cycle 0.
         cycle = network.cycle
         while cycle < horizon:
@@ -123,6 +133,8 @@ class Simulator:
             if auditor is not None:
                 auditor.after_step()
             cycle += 1
+            if heartbeat is not None:
+                heartbeat.maybe_beat(cycle, horizon, self.stats, self._phase(cycle))
             if interval and cycle % interval == 0:
                 metrics.sample(network, cycle)
             if check_invariants and cycle % 100 == 0:
@@ -132,6 +144,18 @@ class Simulator:
             if policy is not None and policy.due(cycle):
                 self.save_checkpoint()
         return cycle
+
+    def _phase(self, cycle: int) -> str:
+        """The measurement-protocol phase ``cycle`` belongs to (heartbeat
+        context: closed-loop runs have a single ``run`` phase)."""
+        cfg = self.config
+        if cfg.max_cycles is not None:
+            return "run"
+        if cycle < cfg.warmup_cycles:
+            return "warmup"
+        if cycle < cfg.warmup_cycles + cfg.measure_cycles:
+            return "measure"
+        return "drain"
 
     def run(self, check_invariants: bool = False) -> SimResult:
         """Run to the configured horizon and return the result summary.
@@ -143,30 +167,38 @@ class Simulator:
         workload = self.workload
         telemetry = self.telemetry
         prof = telemetry.profiler
-        if self.config.max_cycles is None:
-            # Open loop: the drain phase ends early once every measured
-            # packet has been delivered — per-packet latency/energy
-            # statistics then carry no survivor bias (stragglers are fully
-            # counted).
-            inject_until = self.config.warmup_cycles + self.config.measure_cycles
-            horizon = self.config.total_cycles
-            final_cycle = self._run_loop(
-                horizon,
-                lambda c: c >= inject_until and self.stats.measured_pending == 0,
-                check_invariants,
-            )
-        else:
-            horizon = self.config.max_cycles
-            final_cycle = self._run_loop(
-                horizon,
-                lambda c: workload.done() and network.quiescent(),
-                check_invariants,
-            )
-            # For closed-loop runs the window is the whole run, so accepted
-            # load reflects the realised throughput.  Every ejection happened
-            # in [0, final_cycle), so the recount is exact.
-            self.stats.set_window(0, final_cycle)
-            self.stats.ejected_in_window = self.stats.total_ejected_flits
+        try:
+            if self.config.max_cycles is None:
+                # Open loop: the drain phase ends early once every measured
+                # packet has been delivered — per-packet latency/energy
+                # statistics then carry no survivor bias (stragglers are fully
+                # counted).
+                inject_until = self.config.warmup_cycles + self.config.measure_cycles
+                horizon = self.config.total_cycles
+                final_cycle = self._run_loop(
+                    horizon,
+                    lambda c: c >= inject_until and self.stats.measured_pending == 0,
+                    check_invariants,
+                )
+            else:
+                horizon = self.config.max_cycles
+                final_cycle = self._run_loop(
+                    horizon,
+                    lambda c: workload.done() and network.quiescent(),
+                    check_invariants,
+                )
+                # For closed-loop runs the window is the whole run, so accepted
+                # load reflects the realised throughput.  Every ejection happened
+                # in [0, final_cycle), so the recount is exact.
+                self.stats.set_window(0, final_cycle)
+                self.stats.ejected_in_window = self.stats.total_ejected_flits
+        except BaseException:
+            # A run that dies mid-loop (AuditViolation, workload crash,
+            # KeyboardInterrupt) must not strand buffered trace records or
+            # an unflushed metrics frame: finish() flushes and closes the
+            # sinks, and is idempotent if the caller finishes again.
+            telemetry.finish(network, network.cycle)
+            raise
 
         t_stats = perf_counter()
 
@@ -201,7 +233,7 @@ class Simulator:
             prof.add("stats.finalize", perf_counter() - t_stats)
             # Rebuild the result's extra with the completed profile (the
             # SimResult itself is frozen, its extra dict is not).
-            result.extra["profile"] = prof.report()
+            result.extra["profile"] = prof.to_dict()
         return result
 
     # ------------------------------------------------------------------
@@ -253,6 +285,8 @@ class Simulator:
         )
         if policy_named and policy.keep > 0:
             prune_checkpoints(policy.root, policy.keep)
+        if self.journal is not None:
+            self.journal.event(EV_CHECKPOINTED, cycle=cycle, path=str(out))
         return out
 
     @classmethod
@@ -265,6 +299,7 @@ class Simulator:
         telemetry: Optional[Telemetry] = None,
         checkpoint: Optional[CheckpointPolicy] = None,
         audit=False,
+        journal: Optional[JobJournal] = None,
     ) -> "Simulator":
         """Rebuild a mid-run simulator from a checkpoint file (or the
         newest checkpoint under a directory).
@@ -290,6 +325,7 @@ class Simulator:
             telemetry=telemetry,
             checkpoint=checkpoint,
             audit=audit,
+            journal=journal,
         )
         sim.workload_spec = payload.get("workload")
         sim.load_state_dict(payload["state"])

@@ -411,6 +411,12 @@ class SimResult:
         d["total_energy_nj"] = self.total_energy_nj
         d["energy_per_packet_nj"] = self.energy_per_packet_nj
         d["energy_per_flit_pj"] = self.energy_per_flit_pj
+        # Profiled runs get a top-level "profile" section (the engine
+        # stores the PhaseProfiler snapshot in extra; surfacing it here
+        # keeps --json consumers from digging through extra).
+        profile = self.extra.get("profile") if isinstance(self.extra, dict) else None
+        if profile:
+            d["profile"] = profile
         return d
 
     def to_json(self, indent: Optional[int] = None) -> str:
