@@ -28,6 +28,7 @@ low-level simulation modules may import its exceptions without cycles.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import re
@@ -184,14 +185,34 @@ def read_checkpoint(path: PathLike) -> Dict[str, Any]:
     return payload
 
 
+def _identity_hash(config_dict: Dict[str, Any]) -> str:
+    """Content hash of a config dict with backend-selection keys removed.
+
+    The ``backend`` field selects an execution strategy, not a simulation:
+    both backends are bit-exact, checkpoint state trees share one format,
+    and a snapshot taken under either must resume under the other.  Old
+    checkpoints written before the field existed normalise identically
+    (``pop`` of a missing key is a no-op).
+    """
+    data = dict(config_dict)
+    data.pop("backend", None)
+    payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 def verify_identity(payload: Dict[str, Any], config, source: str = "checkpoint") -> None:
     """Raise :class:`CheckpointMismatch` unless ``payload`` was written for
-    exactly ``config`` (by config hash)."""
-    have = payload.get("config_hash")
-    want = config.config_hash()
+    ``config`` up to backend selection (both backends are bit-exact, so a
+    checkpoint saved under one may resume under the other)."""
+    stored = payload.get("config")
+    if not isinstance(stored, dict):
+        raise CheckpointMismatch(f"{source} carries no stored config")
+    have = _identity_hash(stored)
+    want = _identity_hash(config.to_dict())
     if have != want:
         raise CheckpointMismatch(
-            f"{source} was written for config_hash={have} but the resuming "
-            f"config hashes to {want}; bit-exact resume requires the "
-            "identical configuration"
+            f"{source} was written for config_hash={payload.get('config_hash')} "
+            f"but the resuming config hashes to {config.config_hash()}; "
+            "bit-exact resume requires the identical configuration "
+            "(backend selection excepted)"
         )

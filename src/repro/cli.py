@@ -60,7 +60,7 @@ from .checkpoint import CheckpointError, CheckpointPolicy
 from .designs import DESIGN_LABELS, PAPER_DESIGNS
 from .registry import design_names, pattern_names
 from .runner import RunSpec, run_specs
-from .sim.config import FaultConfig, SimConfig, TelemetryConfig
+from .sim.config import KNOWN_BACKENDS, FaultConfig, SimConfig, TelemetryConfig
 from .sim.engine import Simulator
 from .sim.topology import Mesh
 from .traffic.splash2 import generate_app_trace, splash2_app_names
@@ -86,6 +86,12 @@ def _add_sim_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--packet-size", type=int, default=4)
     p.add_argument("--faults", type=float, default=0.0, help="crossbar fault percent")
+    p.add_argument(
+        "--backend", default="object", choices=list(KNOWN_BACKENDS),
+        help="simulation backend: the object walk, the vectorized kernels "
+             "(piloted designs only), or auto (vector when supported, "
+             "object otherwise)",
+    )
 
 
 def _add_runner_args(p: argparse.ArgumentParser) -> None:
@@ -212,6 +218,7 @@ def _config_from(args) -> SimConfig:
         packet_size=args.packet_size,
         faults=FaultConfig(percent=args.faults),
         telemetry=_telemetry_from(args),
+        backend=getattr(args, "backend", "object"),
     )
 
 

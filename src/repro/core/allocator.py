@@ -30,9 +30,13 @@ from .arbiters import RoundRobinArbiter
 from .crossbar import BUFFERED, BUFFERLESS, requires_swap
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
-    """One lane of one input port asking for outputs this cycle."""
+    """One lane of one input port asking for outputs this cycle.
+
+    Allocated per requester per cycle in the hot loop — slotted so the
+    thousands created per simulated second skip the instance ``__dict__``.
+    """
 
     input_index: int
     lane: str  # BUFFERLESS or BUFFERED
@@ -40,7 +44,7 @@ class Request:
     wants: Tuple[Port, ...]  # preference-ordered feasible outputs
 
 
-@dataclass
+@dataclass(slots=True)
 class Grant:
     """A (request, output) pairing produced by the allocator."""
 

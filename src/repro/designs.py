@@ -39,9 +39,15 @@ from .sim.topology import Mesh
 
 # Registration order is the CLI listing order; the paper's six designs
 # first, then the routed unified variants and the AFC extension.
-register_design("flit_bless", BlessRouter, routing="adaptive", label="Flit-Bless")
+register_design(
+    "flit_bless", BlessRouter, routing="adaptive", label="Flit-Bless",
+    supports_vector=True,
+)
 register_design("scarab", ScarabRouter, routing="adaptive", label="SCARAB")
-register_design("buffered4", Buffered4Router, routing="dor", label="Buffered 4")
+register_design(
+    "buffered4", Buffered4Router, routing="dor", label="Buffered 4",
+    supports_vector=True,
+)
 register_design("buffered8", Buffered8Router, routing="dor", label="Buffered 8")
 register_design(
     "dxbar_dor", DXbarRouter, routing="dor", label="DXbar DOR",

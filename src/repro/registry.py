@@ -157,6 +157,7 @@ class DesignSpec:
     label: Optional[str] = None
     base: Optional[str] = None
     supports_faults: bool = False
+    supports_vector: bool = False
     energy: Any = None
     metadata: Dict[str, Any] = field(default_factory=dict)
 
@@ -175,6 +176,7 @@ def register_design(
     label: Optional[str] = None,
     base: Optional[str] = None,
     supports_faults: bool = False,
+    supports_vector: bool = False,
     energy: Any = None,
     replace: bool = False,
     **metadata: Any,
@@ -199,6 +201,7 @@ def register_design(
             label=label,
             base=base,
             supports_faults=supports_faults,
+            supports_vector=supports_vector,
             energy=energy,
             metadata=dict(metadata),
         )

@@ -20,10 +20,27 @@ from __future__ import annotations
 
 import hashlib
 import json
+import warnings
 from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, Dict, Optional
 
 from ..registry import DESIGNS, PATTERNS
+
+#: Backend names accepted by :attr:`SimConfig.backend`.
+KNOWN_BACKENDS = ("object", "vector", "auto")
+
+
+class ConfigError(ValueError):
+    """A :class:`SimConfig` that can never run as specified.
+
+    Subclasses :class:`ValueError` so existing callers that catch broad
+    validation errors keep working.
+    """
+
+
+#: (design, reason) pairs already warned about under ``backend="auto"``
+#: fallback, so a sweep over hundreds of configs warns once per cause.
+_FALLBACK_WARNED: set = set()
 
 
 def _check_fields(cls, data: Dict[str, Any]) -> None:
@@ -153,6 +170,12 @@ class SimConfig:
     # Closed-loop (trace / SPLASH-2) runs ignore offered_load and stop when
     # the workload completes or max_cycles elapses.
     max_cycles: Optional[int] = None
+    # Simulation backend: the per-flit "object" walk (reference), the
+    # struct-of-arrays "vector" kernels (piloted designs only), or "auto"
+    # (vector where supported, object otherwise, with a one-time warning
+    # on fallback).  Serialised and hashed, so cache keys and checkpoints
+    # distinguish backends.
+    backend: str = "object"
 
     def __post_init__(self) -> None:
         if self.design not in DESIGNS:
@@ -187,6 +210,60 @@ class SimConfig:
                 "designs only (dxbar_*/unified_*); design "
                 f"{self.design!r} does not support it"
             )
+        if self.backend not in KNOWN_BACKENDS:
+            raise ConfigError(
+                f"unknown backend {self.backend!r}; "
+                f"expected one of {KNOWN_BACKENDS}"
+            )
+        if self.backend == "vector":
+            # An *explicit* vector request on an unsupported combination
+            # fails here, at validation time; only backend="auto" falls
+            # back silently (well: with a one-time warning).
+            reason = self._vector_unsupported_reason()
+            if reason:
+                raise ConfigError(
+                    f"backend='vector' is not available for this config: "
+                    f"{reason}; use backend='auto' to fall back to the "
+                    f"object backend instead"
+                )
+
+    def _vector_unsupported_reason(self) -> Optional[str]:
+        """Why the vector backend cannot run this config (None = it can)."""
+        if not self.spec.supports_vector:
+            return (
+                f"design {self.design!r} has no vectorized kernel "
+                f"(supports_vector=False in its DesignSpec)"
+            )
+        if self.telemetry.trace_path or self.telemetry.trace_buffer:
+            return (
+                "flit-lifecycle tracing requires the per-flit object walk"
+            )
+        return None
+
+    def resolved_backend(self) -> str:
+        """The backend a run of this config actually uses.
+
+        ``object`` and ``vector`` resolve to themselves (validation already
+        guaranteed vector support); ``auto`` picks ``vector`` when the
+        design has a kernel and no per-flit tracing is requested, else
+        falls back to ``object`` with one :class:`RuntimeWarning` per
+        (design, cause) per process.
+        """
+        if self.backend != "auto":
+            return self.backend
+        reason = self._vector_unsupported_reason()
+        if reason is None:
+            return "vector"
+        key = (self.design, reason)
+        if key not in _FALLBACK_WARNED:
+            _FALLBACK_WARNED.add(key)
+            warnings.warn(
+                f"backend='auto': falling back to the object backend "
+                f"({reason})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return "object"
 
     # ------------------------------------------------------------------
     @property

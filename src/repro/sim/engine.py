@@ -73,7 +73,14 @@ class Simulator:
             if telemetry is not None
             else Telemetry.from_config(config.telemetry, k=config.k)
         )
-        self.network = Network(config, self.stats, telemetry=self.telemetry)
+        if config.resolved_backend() == "vector":
+            from .vector import build_vector_network
+
+            self.network = build_vector_network(
+                config, self.stats, telemetry=self.telemetry
+            )
+        else:
+            self.network = Network(config, self.stats, telemetry=self.telemetry)
         if workload is None:
             pattern = make_pattern(config.pattern, self.network.mesh)
             workload = BernoulliSynthetic(

@@ -39,6 +39,12 @@ class Mesh:
                 if 0 <= nx < k and 0 <= ny < k:
                     nbrs[port] = ny * k + nx
             self._neighbors.append(nbrs)
+        # ports_of() is called in per-cycle loops (requester collection,
+        # audit snapshots); hand out one immutable tuple per node instead
+        # of building a fresh list on every call.
+        self._ports_of: List[Tuple[Port, ...]] = [
+            tuple(nbrs.keys()) for nbrs in self._neighbors
+        ]
 
     # ------------------------------------------------------------------
     # geometry queries
@@ -57,9 +63,10 @@ class Mesh:
         """Neighbour of ``node`` through ``port``, or None at a mesh edge."""
         return self._neighbors[node].get(port)
 
-    def ports_of(self, node: int) -> List[Port]:
-        """The cardinal ports that actually have a link at ``node``."""
-        return list(self._neighbors[node].keys())
+    def ports_of(self, node: int) -> Tuple[Port, ...]:
+        """The cardinal ports that actually have a link at ``node``
+        (cached, ascending port order; treat as read-only)."""
+        return self._ports_of[node]
 
     def manhattan(self, a: int, b: int) -> int:
         """Hop distance between nodes ``a`` and ``b``."""

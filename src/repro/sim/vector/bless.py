@@ -1,0 +1,201 @@
+"""Vectorized kernel for the ``flit_bless`` bufferless deflection router.
+
+One cycle of the object walk, re-expressed over the whole population:
+
+1. **Arrivals** — pop every in-flight flit whose link traversal completes
+   this cycle.
+2. **Ejections** — rank at-destination arrivals per node by the age key
+   ``(injected_cycle, packet_id, flit_index, fid)``; the first
+   ``ejection_ports`` of each node eject (crossbar charge, then the
+   ejection record), processed in (node, rank) order — exactly the object
+   walk's global ejection order.  An arrival that loses the ejection race
+   deflects onward as a survivor.
+3. **Injection** — a node with arrivals on fewer than all of its link
+   ports pops its source-queue head (if visible; see below) into the
+   survivor population, marking network entry.  The object router decides
+   this *before* its own ejections, but an injected flit is never
+   at-destination (``src != dst``) so running the phases in this order
+   changes no ejection outcome.
+4. **Port assignment** — survivors sorted node-major/oldest-first claim
+   output ports in age-rank rounds: first free routing candidate, else the
+   lowest-numbered free port with a deflection charge (``free[0]`` of the
+   object walk, since ``ports_of`` yields ascending port order).  All of a
+   node's ports start free: a BLESS router's output links are only ever
+   pushed by the router itself, and it has not sent yet when it computes
+   ``free``.
+5. **Sends** — crossbar charge, hop count, link charge, push onto the fly
+   arrays with arrival ``cycle + latency``.
+
+Closed-loop visibility: a packet injected by an ``on_eject`` callback
+while ejector node ``n`` is being processed is visible to this cycle's
+injection pass iff its source node ``s`` satisfies ``s > n`` — in the
+object walk, nodes step in ascending order and node ``s``'s injection
+decision has already happened when ``s <= n``.  Deferred queue heads are
+tracked per cycle in ``_vis_defer``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..ports import Port
+from .base import CI_DEFLECTIONS, VectorNetwork, group_ordinals
+
+
+class VectorBlessNetwork(VectorNetwork):
+    """SoA implementation of the ``flit_bless`` design."""
+
+    uses_credits = False
+
+    def _design_init(self) -> None:
+        n = self.num_nodes
+        routing = self.routing
+        # Candidate LUT: row ``cur * n + dst`` holds the non-LOCAL routing
+        # candidates in preference order, -1 padded.  Row order preserves
+        # the object walk's "first free candidate" scan.
+        rows: List[List[int]] = []
+        width = 1
+        for cur in range(n):
+            for dst in range(n):
+                if cur == dst:
+                    rows.append([])
+                    continue
+                cands = [
+                    int(p) for p in routing.candidates(cur, dst) if p != Port.LOCAL
+                ]
+                width = max(width, len(cands))
+                rows.append(cands)
+        cand2d = np.full((n * n, width), -1, dtype=np.int64)
+        for i, cands in enumerate(rows):
+            cand2d[i, : len(cands)] = cands
+        self._cand2d = cand2d
+        # Lowest set bit of a 4-bit port mask == ``free[0]`` of the object
+        # walk's ascending free-port list.
+        first_free = np.full(16, -1, dtype=np.int64)
+        for mask in range(1, 16):
+            first_free[mask] = (mask & -mask).bit_length() - 1
+        self._first_free = first_free
+        self._ej_ports = self.config.ejection_ports
+        #: queue-head slots whose injection is deferred to the next cycle
+        #: (closed-loop replies injected at an already-stepped node).
+        self._vis_defer: set = set()
+
+    def _mid_step_injected(self, src: int, slots: List[int], was_empty: bool) -> None:
+        if was_empty and src <= self._eject_ctx:
+            self._vis_defer.add(slots[0])
+
+    # ------------------------------------------------------------------
+    def _step_kernel(self, cycle: int) -> None:
+        st = self.store
+        n_nodes = self.num_nodes
+        arr_slots, arr_links = self._take_arrivals(cycle)
+        parts_s: List[np.ndarray] = []
+        parts_n: List[np.ndarray] = []
+        arr_count = None
+        if len(arr_slots):
+            arr_nodes = self.link_dst[arr_links]
+            arr_count = np.bincount(arr_nodes, minlength=n_nodes)
+            at_dest = st.dst[arr_slots] == arr_nodes
+            if at_dest.any():
+                s = arr_slots[at_dest]
+                nd = arr_nodes[at_dest]
+                order = np.lexsort((st.age[s], nd))
+                s = s[order]
+                nd = nd[order]
+                _, ordinal = group_ordinals(nd)
+                eject = ordinal < self._ej_ports
+                ej_s = s[eject]
+                if len(ej_s):
+                    self._charge_xbar_many(ej_s)
+                    self._process_ejections(ej_s, nd[eject], cycle)
+                lost = ~eject
+                if lost.any():
+                    parts_s.append(s[lost])
+                    parts_n.append(nd[lost])
+                through = ~at_dest
+                if through.any():
+                    parts_s.append(arr_slots[through])
+                    parts_n.append(arr_nodes[through])
+            else:
+                parts_s.append(arr_slots)
+                parts_n.append(arr_nodes)
+
+        # Injection pass: eligibility mirrors the object router's
+        # ``len(incoming flits) < len(link ports)`` check.
+        if self._q_nonempty:
+            qn = np.fromiter(
+                self._q_nonempty, dtype=np.int64, count=len(self._q_nonempty)
+            )
+            qn.sort()
+            if arr_count is not None:
+                qn = qn[arr_count[qn] < self._nports_arr[qn]]
+            defer = self._vis_defer
+            queues = self._inj_q
+            taken_s: List[int] = []
+            taken_n: List[int] = []
+            for node in qn.tolist():
+                q = queues[node]
+                slot = q[0]
+                if defer and slot in defer:
+                    continue
+                q.popleft()
+                if not q:
+                    self._q_nonempty.discard(node)
+                taken_s.append(slot)
+                taken_n.append(node)
+            if taken_s:
+                self._mark_entries(taken_s, taken_n, cycle)
+                parts_s.append(np.array(taken_s, dtype=np.int64))
+                parts_n.append(np.array(taken_n, dtype=np.int64))
+        self._vis_defer.clear()
+
+        if not parts_s:
+            return
+        sl = np.concatenate(parts_s)
+        nd = np.concatenate(parts_n)
+        order = np.lexsort((st.age[sl], nd))
+        sl = sl[order]
+        nd = nd[order]
+        counts, ordinal = group_ordinals(nd)
+        n_ranks = int(counts.max())
+        key_all = nd * n_nodes + st.dst[sl]
+        out_port = np.empty(len(sl), dtype=np.int64)
+        free = self._port_mask.copy()
+        if n_ranks == 1:
+            rank_idx = [slice(None)]
+        else:
+            # Stable sort by rank: each rank round becomes one contiguous
+            # slice instead of a boolean-mask pass over the population.
+            by_rank = np.argsort(ordinal, kind="stable")
+            sizes = np.bincount(ordinal, minlength=n_ranks)
+            rank_idx = []
+            off = 0
+            for rank in range(n_ranks):
+                nxt = off + int(sizes[rank])
+                rank_idx.append(by_rank[off:nxt])
+                off = nxt
+        for idx in rank_idx:
+            nr = nd[idx]
+            fm = free[nr]
+            cand = self._cand2d[key_all[idx]]
+            valid = cand >= 0
+            open_ = valid & (((fm[:, None] >> np.where(valid, cand, 0)) & 1) == 1)
+            first = open_.argmax(axis=1)
+            rows = np.arange(len(nr))
+            routed = open_[rows, first]
+            chosen = np.where(routed, cand[rows, first], self._first_free[fm])
+            deflected = ~routed
+            if deflected.any():
+                di = np.nonzero(deflected)[0]
+                st.deflections[sl[idx][di]] += 1
+                np.add.at(self.counters[:, CI_DEFLECTIONS], nr[di], 1)
+            free[nr] = fm & ~(np.int64(1) << chosen)
+            out_port[idx] = chosen
+        # Per-flit charge order matches the object walk: crossbar, then
+        # hop + link on the way out.
+        self._charge_xbar_many(sl)
+        st.hops[sl] += 1
+        self._charge_link_many(sl)
+        self._fly_push(sl, self.out_index[nd, out_port], cycle + self.latency)

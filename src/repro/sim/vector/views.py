@@ -1,0 +1,161 @@
+"""Object-model facade over the vector backend's SoA state.
+
+The per-cycle auditor, the interval-metrics sampler and the checkpoint
+writer were all written against the object model's surface: routers with
+``audit_snapshot()`` / ``telemetry_counters()`` / ``out_links``, links
+with ``_regs`` / ``in_flight()``, credit channels with ``in_flight()``.
+These views recreate exactly that surface on demand from the array state,
+materialising :class:`~repro.sim.flit.Flit` objects only when something
+actually looks (the hot kernels never touch them).
+
+All views are thin delegators: the design-specific logic (what a FIFO
+snapshot looks like, what an invariant violation is) lives on the
+:class:`~repro.sim.vector.base.VectorNetwork` subclasses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional
+
+from ..flit import Flit
+from ..ports import Port
+
+
+class VectorLinkView:
+    """Read-only stand-in for :class:`~repro.sim.link.Link`.
+
+    ``_regs`` is materialised per access from the fly arrays: index
+    ``latency - 1`` is the downstream-visible head, matching the object
+    pipeline's layout.  ``_next`` is always ``None`` because views are
+    only consulted at end-of-cycle boundaries, where the object link has
+    just shifted.
+    """
+
+    __slots__ = ("_net", "index", "src", "dst", "latency")
+
+    #: Nothing is ever staged at a boundary.
+    _next: Optional[Flit] = None
+
+    def __init__(self, net, index: int, src: int, dst: int, latency: int) -> None:
+        self._net = net
+        self.index = index
+        self.src = src
+        self.dst = dst
+        self.latency = latency
+
+    def in_flight(self) -> int:
+        return len(self._net._link_entries(self.index))
+
+    @property
+    def _regs(self) -> List[Optional[Flit]]:
+        net = self._net
+        lat = self.latency
+        regs: List[Optional[Flit]] = [None] * lat
+        for slot, arrival in net._link_entries(self.index):
+            # A flit arriving at cycle ``a`` sits at register
+            # ``cycle - a + latency - 1`` when observed at boundary
+            # ``cycle`` (head == latency - 1 means "arrives now").
+            regs[net.cycle - arrival + lat - 1] = net.store.materialize(slot)
+        return regs
+
+    def peek(self) -> Optional[Flit]:
+        return self._regs[-1]
+
+
+class VectorChannelView:
+    """Read-only stand-in for :class:`~repro.sim.link.CreditChannel`."""
+
+    __slots__ = ("_net", "index", "upstream")
+
+    def __init__(self, net, index: int, upstream: int) -> None:
+        self._net = net
+        self.index = index
+        self.upstream = upstream
+
+    def in_flight(self) -> int:
+        # At a boundary the object channel's ``_next`` is always 0, so
+        # in-flight credits equal the visible ``now`` count.
+        return int(self._net.chan_now[self.index])
+
+    def pending(self) -> int:
+        return self.in_flight()
+
+
+class _CreditsMap(Mapping):
+    """Live ``{Port: credit count}`` view of the upstream credit array
+    (mirrors the object router's ``credits`` dict)."""
+
+    __slots__ = ("_net", "_node")
+
+    def __init__(self, net, node: int) -> None:
+        self._net = net
+        self._node = node
+
+    def __getitem__(self, port) -> int:
+        link = int(self._net.out_index[self._node, int(port)])
+        if link < 0:
+            raise KeyError(port)
+        return int(self._net.credits[link])
+
+    def __iter__(self) -> Iterator[Port]:
+        node = self._node
+        return iter(
+            p for p in self._net.mesh.ports_of(node)
+            if self._net.out_index[node, int(p)] >= 0
+        )
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+
+class VectorRouterView:
+    """Read-only stand-in for one router of the vector network.
+
+    ``audit`` is a plain settable attribute: the auditor installs itself
+    there exactly as it does on object routers (the vector kernels never
+    consult it — vector designs raise no audited mid-step events).
+    """
+
+    __slots__ = ("_net", "node", "audit", "out_links", "in_links", "credit_in")
+
+    def __init__(self, net, node: int) -> None:
+        self._net = net
+        self.node = node
+        self.audit = None
+        # Filled in by the network during wiring.
+        self.out_links: Dict[Port, VectorLinkView] = {}
+        self.in_links: Dict[Port, VectorLinkView] = {}
+        self.credit_in: Dict[Port, VectorChannelView] = {}
+
+    @property
+    def uses_credits(self) -> bool:
+        return self._net.uses_credits
+
+    @property
+    def credits(self) -> _CreditsMap:
+        return _CreditsMap(self._net, self.node)
+
+    def credit_budget(self) -> int:
+        return self._net.credit_budget()
+
+    @property
+    def source_queue_len(self) -> int:
+        return len(self._net._inj_q[self.node])
+
+    def telemetry_counters(self) -> Dict[str, int]:
+        return self._net._router_telemetry(self.node)
+
+    def occupancy(self) -> int:
+        return self._net._router_occupancy(self.node)
+
+    def pending_flits(self) -> int:
+        return self.occupancy() + self.source_queue_len
+
+    def audit_snapshot(self) -> Dict[str, List[Flit]]:
+        return self._net._router_audit_snapshot(self.node)
+
+    def audit_invariants(self, cycle: int):
+        return self._net._router_audit_invariants(self.node, cycle)
+
+    def audit_input_occupancy(self, in_port) -> int:
+        return self._net._router_input_occupancy(self.node, in_port)

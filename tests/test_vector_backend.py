@@ -1,0 +1,182 @@
+"""Differential and unit tests for the vectorized (SoA) backend.
+
+The hard requirement: a vector-backend run must be *bit-exact* with the
+object walk — identical ``SimResult.to_dict()`` (including the float
+energy accumulators and per-packet latency/energy lists) for every
+piloted design, pattern, load, seed, and workload, and checkpoints must
+round-trip across backends in both directions.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.sim.config import ConfigError, SimConfig, _FALLBACK_WARNED
+from repro.sim.engine import Simulator
+from repro.sim.topology import Mesh
+from repro.traffic.splash2 import make_splash2_workload
+
+PILOTED = ["flit_bless", "buffered4"]
+
+
+def _config(design: str, **overrides) -> SimConfig:
+    defaults = dict(
+        design=design,
+        k=4,
+        pattern="UR",
+        offered_load=0.3,
+        warmup_cycles=50,
+        measure_cycles=300,
+        drain_cycles=400,
+        packet_size=2,
+        seed=11,
+    )
+    defaults.update(overrides)
+    return SimConfig(**defaults)
+
+
+def _run(config: SimConfig, workload=None, audit=False) -> dict:
+    result = Simulator(config, workload=workload, audit=audit).run(
+        check_invariants=True
+    )
+    d = result.to_dict()
+    # Wall-clock profile timings are the one legitimately nondeterministic
+    # field.
+    d.get("extra", {}).pop("profile", None)
+    return d
+
+
+def _pair(design: str, **overrides):
+    obj = _run(_config(design, backend="object", **overrides))
+    vec = _run(_config(design, backend="vector", **overrides))
+    return obj, vec
+
+
+class TestBitExactness:
+    """Vector vs object: identical results across the differential grid."""
+
+    @pytest.mark.parametrize("design", PILOTED)
+    @pytest.mark.parametrize("seed", [1, 7, 23])
+    def test_seeds(self, design, seed):
+        obj, vec = _pair(design, seed=seed)
+        assert obj == vec
+
+    @pytest.mark.parametrize("design", PILOTED)
+    @pytest.mark.parametrize("load", [0.05, 0.35, 0.7])
+    def test_loads(self, design, load):
+        obj, vec = _pair(design, offered_load=load)
+        assert obj == vec
+
+    @pytest.mark.parametrize("design", PILOTED)
+    @pytest.mark.parametrize("k", [2, 3, 8])
+    def test_radices(self, design, k):
+        obj, vec = _pair(design, k=k)
+        assert obj == vec
+
+    @pytest.mark.parametrize("design", PILOTED)
+    @pytest.mark.parametrize("pattern", ["BR", "TOR", "NB"])
+    def test_patterns(self, design, pattern):
+        obj, vec = _pair(design, pattern=pattern)
+        assert obj == vec
+
+    @pytest.mark.parametrize("design", PILOTED)
+    def test_multi_flit_packets(self, design):
+        obj, vec = _pair(design, packet_size=5)
+        assert obj == vec
+
+    @pytest.mark.parametrize("design", PILOTED)
+    def test_closed_loop_splash2(self, design):
+        """Replies injected from on_eject mid-step must honour the object
+        walk's node-order visibility rules."""
+        results = []
+        for backend in ("object", "vector"):
+            cfg = _config(design, backend=backend, max_cycles=30000)
+            wl = make_splash2_workload("FFT", Mesh(cfg.k), txns_per_core=30, seed=5)
+            results.append(_run(cfg, workload=wl))
+        assert results[0] == results[1]
+
+    @pytest.mark.parametrize("design", PILOTED)
+    def test_audited_vector_run_is_bit_exact(self, design):
+        """The per-cycle auditor reads the SoA state through adapter views;
+        it must pass and must not perturb the simulation."""
+        cfg = _config(design, backend="vector")
+        assert _run(cfg, audit=True) == _run(cfg)
+
+
+class TestCheckpointAcrossBackends:
+    """Checkpoints are backend-neutral: save on one backend, resume on the
+    other, land on the uninterrupted run's exact result."""
+
+    @pytest.mark.parametrize("design", PILOTED)
+    @pytest.mark.parametrize(
+        "src,dst",
+        [("object", "vector"), ("vector", "object"), ("vector", "vector")],
+    )
+    def test_cross_backend_resume(self, design, src, dst, tmp_path):
+        golden = _run(_config(design, backend="object"))
+        sim = Simulator(_config(design, backend=src))
+        for cycle in range(120):
+            sim.workload.tick(cycle, sim.network)
+            sim.network.step()
+        path = tmp_path / "ckpt.json"
+        sim.save_checkpoint(path)
+        resumed = Simulator.resume_from(path, config=_config(design, backend=dst))
+        result = resumed.run(check_invariants=True).to_dict()
+        result.get("extra", {}).pop("profile", None)
+        assert result == golden
+
+    @pytest.mark.parametrize("design", PILOTED)
+    def test_vector_state_dict_matches_object(self, design):
+        """Identical histories produce identical state trees, field for
+        field — the strongest form of the bit-exactness claim."""
+        sims = []
+        for backend in ("object", "vector"):
+            sim = Simulator(_config(design, backend=backend))
+            for cycle in range(150):
+                sim.workload.tick(cycle, sim.network)
+                sim.network.step()
+            sims.append(sim)
+        assert sims[0].state_dict() == sims[1].state_dict()
+
+
+class TestBackendSelection:
+    def test_explicit_vector_on_unsupported_design_raises(self):
+        with pytest.raises(ConfigError, match="auto"):
+            SimConfig(design="dxbar_dor", backend="vector")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            SimConfig(design="flit_bless", backend="jit")
+
+    def test_auto_resolves_to_vector_on_piloted_design(self):
+        cfg = SimConfig(design="buffered4", backend="auto")
+        assert cfg.resolved_backend() == "vector"
+
+    def test_auto_falls_back_with_warning_once(self):
+        _FALLBACK_WARNED.clear()
+        cfg = SimConfig(design="dxbar_dor", backend="auto")
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            assert cfg.resolved_backend() == "object"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cfg.resolved_backend() == "object"
+
+    def test_engine_dispatches_vector_network(self):
+        from repro.sim.vector import VectorNetwork
+
+        sim = Simulator(_config("flit_bless", backend="vector"))
+        assert isinstance(sim.network, VectorNetwork)
+
+    def test_trace_sink_forces_object_fallback(self, tmp_path):
+        from repro.sim.config import TelemetryConfig
+
+        _FALLBACK_WARNED.clear()
+        cfg = _config(
+            "flit_bless",
+            backend="auto",
+            telemetry=TelemetryConfig(trace_path=str(tmp_path / "t.jsonl")),
+        )
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            assert cfg.resolved_backend() == "object"
