@@ -438,6 +438,120 @@ def cmd_tail(args) -> int:
         print()
 
 
+def cmd_campaign_run(args) -> int:
+    from .campaign import CampaignError, CampaignSpec, run_campaign
+
+    if args.resume:
+        spec = None
+    else:
+        sim = {}
+        if args.warmup is not None:
+            sim["warmup_cycles"] = args.warmup
+        if args.measure is not None:
+            sim["measure_cycles"] = args.measure
+        if args.drain is not None:
+            sim["drain_cycles"] = args.drain
+        if args.sim_seed is not None:
+            sim["seed"] = args.sim_seed
+        spec = CampaignSpec(
+            designs=tuple(args.designs),
+            loads=tuple(args.loads),
+            percents=tuple(args.percents),
+            samples=args.samples,
+            seed=args.seed,
+            k=args.k,
+            pattern=args.pattern,
+            granularity=args.granularity,
+            weighting=args.weighting,
+            manifest_phase=args.manifest_phase,
+            manifest_at=args.manifest_at,
+            detection_cycles=args.detection_cycles,
+            sim=sim,
+        )
+
+    progress = None
+    if not args.quiet:
+        def progress(done, total, outcome):
+            step = max(1, total // 20)
+            if done % step == 0 or done == total:
+                print(f"campaign: {done}/{total} jobs done", file=sys.stderr)
+
+    try:
+        result = run_campaign(
+            args.root,
+            spec,
+            jobs=args.jobs,
+            threshold=args.threshold,
+            retries=args.retries,
+            job_timeout=args.job_timeout,
+            checkpoint_every=args.checkpoint_every,
+            audit=_audit_from(args),
+            journal=not args.no_journal,
+            progress=progress,
+        )
+    except CampaignError as exc:
+        print(f"repro campaign run: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(result.payload, sort_keys=True))
+    else:
+        from .analysis.reliability import render_reliability
+
+        print(render_reliability(result.report))
+        if result.failures:
+            print(f"\n{len(result.failures)} job(s) failed terminally:",
+                  file=sys.stderr)
+            for job_id, error in result.failures:
+                print(f"  {job_id}: {error}", file=sys.stderr)
+    return 1 if result.failures else 0
+
+
+def cmd_campaign_status(args) -> int:
+    from .campaign import CampaignError, campaign_progress
+
+    try:
+        prog = campaign_progress(args.root)
+    except CampaignError as exc:
+        print(f"repro campaign status: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(prog, sort_keys=True))
+        return 0
+    print(
+        f"campaign {prog['campaign_id']} at {prog['root']}: "
+        f"{prog['completed']}/{prog['total']} jobs complete "
+        f"({prog['fraction']:.1%})"
+    )
+    journal = Path(args.root) / "journal"
+    if journal.exists():
+        from .obs import campaign_status, fleet_metrics, merge_journal, render_status
+
+        events = merge_journal(journal)
+        print(render_status(campaign_status(events), fleet_metrics(events),
+                            max_rows=args.rows))
+    return 0
+
+
+def cmd_campaign_report(args) -> int:
+    from .analysis.reliability import render_reliability
+    from .campaign import CampaignError, campaign_report
+
+    try:
+        result = campaign_report(args.root, threshold=args.threshold)
+    except CampaignError as exc:
+        print(f"repro campaign report: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(result.payload, sort_keys=True))
+        return 0
+    pending = result.payload["jobs_pending"]
+    if pending:
+        print(f"note: {pending} job(s) not yet in the cache; "
+              f"the report covers completed cells only", file=sys.stderr)
+    print(render_reliability(result.report))
+    return 0
+
+
 def cmd_designs(args) -> int:
     for d in design_names():
         print(f"{d:12s} {DESIGN_LABELS[d]}")
@@ -509,6 +623,83 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lines", type=int, default=10, metavar="N",
                    help="recent non-heartbeat events to show (default 10)")
     p.set_defaults(func=cmd_tail)
+
+    p = sub.add_parser(
+        "campaign",
+        help="Monte-Carlo fault-injection campaigns (repro.campaign)",
+    )
+    csub = p.add_subparsers(dest="campaign_command", required=True)
+
+    c = csub.add_parser("run", help="run (or resume) a campaign directory")
+    c.add_argument("root", help="campaign directory (manifest/cache/journal/report)")
+    c.add_argument("--resume", action="store_true",
+                   help="reload the spec from the directory's manifest, "
+                        "ignoring the grid flags below")
+    g = c.add_argument_group("campaign grid")
+    g.add_argument("--designs", nargs="+", default=["dxbar_dor", "unified_dor"],
+                   choices=design_names())
+    g.add_argument("--loads", nargs="+", type=float, default=[0.5])
+    g.add_argument("--percents", nargs="+", type=float,
+                   default=[0.0, 25.0, 50.0, 75.0, 100.0],
+                   help="fault-level axis (0 gives the analytics a baseline)")
+    g.add_argument("--samples", type=int, default=32,
+                   help="independent fault maps per nonzero level (default 32)")
+    g.add_argument("--seed", type=int, default=1, help="fault-map sampling seed")
+    g.add_argument("--k", type=int, default=8, help="mesh radix")
+    g.add_argument("--pattern", default="UR", choices=pattern_names())
+    g.add_argument("--granularity", default="crossbar",
+                   choices=["crossbar", "crosspoint"])
+    g.add_argument("--weighting", default="uniform",
+                   choices=["uniform", "center", "edges"],
+                   help="which routers are likelier to fail")
+    g.add_argument("--manifest-phase", default="warmup",
+                   choices=["warmup", "measure"],
+                   help="when sampled faults manifest: during warmup (static "
+                        "faults, the paper's setup) or mid-measurement "
+                        "(transient faults)")
+    g.add_argument("--manifest-at", type=int, default=None, metavar="CYCLE",
+                   help="pin every fault to one exact manifest cycle")
+    g.add_argument("--detection-cycles", type=int, default=5, metavar="N",
+                   help="BIST detection latency (cycles from manifest to "
+                        "reconfiguration; default 5)")
+    g.add_argument("--warmup", type=int, default=None)
+    g.add_argument("--measure", type=int, default=None)
+    g.add_argument("--drain", type=int, default=None)
+    g.add_argument("--sim-seed", type=int, default=None, metavar="N",
+                   help="traffic RNG seed override for every job")
+    g = c.add_argument_group("execution")
+    g.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes (1 = serial)")
+    g.add_argument("--threshold", type=float, default=0.5,
+                   help="yield threshold as a fraction of baseline "
+                        "throughput (default 0.5)")
+    g.add_argument("--retries", type=int, default=2, metavar="N")
+    g.add_argument("--job-timeout", type=float, default=None, metavar="SEC")
+    g.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                   help="snapshot each job every N cycles (0 = off)")
+    g.add_argument("--no-journal", action="store_true",
+                   help="skip the run journal under <root>/journal")
+    g.add_argument("--quiet", action="store_true",
+                   help="suppress progress lines on stderr")
+    _add_audit_args(c)
+    c.add_argument("--json", action="store_true",
+                   help="print the report payload as one JSON object")
+    c.set_defaults(func=cmd_campaign_run)
+
+    c = csub.add_parser("status", help="completion summary of a campaign")
+    c.add_argument("root")
+    c.add_argument("--rows", type=int, default=40, metavar="N",
+                   help="cap on journal table rows (default 40)")
+    c.add_argument("--json", action="store_true")
+    c.set_defaults(func=cmd_campaign_status)
+
+    c = csub.add_parser(
+        "report", help="rebuild analytics from a campaign's result cache"
+    )
+    c.add_argument("root")
+    c.add_argument("--threshold", type=float, default=0.5)
+    c.add_argument("--json", action="store_true")
+    c.set_defaults(func=cmd_campaign_report)
 
     p = sub.add_parser("designs", help="list router designs")
     p.set_defaults(func=cmd_designs)

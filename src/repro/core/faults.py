@@ -44,6 +44,17 @@ CROSSBAR = "crossbar"
 CROSSPOINT = "crosspoint"
 
 
+def fault_count(percent: float, num_routers: int) -> int:
+    """Faulty-router count for a percentage, with deterministic half-up
+    rounding.  Python's ``round()`` rounds half to even, so e.g. 50% of a
+    3x3 mesh gave 4 faults while 50% of 3 routers gave 2 — the faulty-set
+    size jumped inconsistently with the percentage and broke nestedness
+    expectations.  Shared by :class:`FaultPlan` and the Monte-Carlo
+    fault-map sampler (:mod:`repro.campaign`), so a sampled campaign's
+    count axis lines up exactly with the percent-driven plans."""
+    return int(math.floor(percent / 100.0 * num_routers + 0.5))
+
+
 @dataclass(frozen=True)
 class RouterFault:
     """One permanent fault at one router.
@@ -122,11 +133,10 @@ class FaultPlan:
         self.config = config
         self.num_routers = num_routers
         self._faults: Dict[int, RouterFault] = {}
-        # Deterministic half-up rounding.  Python's round() rounds half to
-        # even, so e.g. 50% of a 3x3 mesh gave 4 faults while 50% of 3
-        # routers gave 2 — the faulty-set size jumped inconsistently with
-        # the percentage and broke nestedness expectations.
-        count = int(math.floor(config.percent / 100.0 * num_routers + 0.5))
+        if config.entries is not None:
+            self._build_explicit(config, num_routers)
+            return
+        count = fault_count(config.percent, num_routers)
         if count == 0:
             return
         rng = np.random.default_rng(config.seed)
@@ -154,6 +164,40 @@ class FaultPlan:
                 output_port=out_port,
             )
 
+    def _build_explicit(self, config: FaultConfig, num_routers: int) -> None:
+        """Install an explicit fault map (:attr:`FaultConfig.entries`).
+
+        Entry-level validation (port pairing, duplicate nodes, granularity
+        coherence) already happened in ``FaultConfig``; what remains is
+        what only the instantiated mesh knows: node range and the
+        per-crossbar input arity (the primary crossbar has the four
+        direction inputs, the secondary adds the injection lane)."""
+        for e in config.entries:
+            if e.node >= num_routers:
+                raise ValueError(
+                    f"fault entry node {e.node} out of range for "
+                    f"{num_routers} routers"
+                )
+            in_port: Optional[Port] = None
+            out_port: Optional[Port] = None
+            if e.is_crosspoint:
+                n_inputs = 4 if e.crossbar == PRIMARY else 5
+                if e.input_port >= n_inputs:
+                    raise ValueError(
+                        f"fault entry node {e.node}: input_port "
+                        f"{e.input_port} out of range for the {e.crossbar} "
+                        f"crossbar ({n_inputs} inputs)"
+                    )
+                in_port = Port(e.input_port)
+                out_port = Port(e.output_port)
+            self._faults[e.node] = RouterFault(
+                crossbar=e.crossbar,
+                manifest_cycle=e.manifest_cycle,
+                detected_cycle=e.manifest_cycle + config.detection_cycles,
+                input_port=in_port,
+                output_port=out_port,
+            )
+
     def fault_for(self, node: int) -> Optional[RouterFault]:
         return self._faults.get(node)
 
@@ -170,3 +214,33 @@ class FaultPlan:
 
     def __len__(self) -> int:
         return len(self._faults)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, dict]:
+        """Lossless JSON-able form: the generating config, the mesh size
+        and the realised signature.  The round-trip property (``from_dict``
+        rebuilds an identical plan) is what makes sampled plans cache-key
+        stable — the plan is a pure function of data that already lives in
+        :meth:`SimConfig.to_dict`."""
+        return {
+            "config": self.config.to_dict(),
+            "num_routers": self.num_routers,
+            "signature": self.signature(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, dict]) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`.  The rebuilt plan is verified
+        against the stored signature, so a drifted deterministic rebuild
+        (e.g. a numpy generator behaviour change) raises instead of
+        silently diverging — the same contract checkpoint resume uses."""
+        plan = cls(FaultConfig.from_dict(data["config"]), data["num_routers"])
+        want = data.get("signature")
+        if want is not None and plan.signature() != want:
+            raise ValueError(
+                "fault plan signature drift: the deterministic rebuild does "
+                "not reproduce the serialized plan"
+            )
+        return plan

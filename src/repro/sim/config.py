@@ -22,7 +22,7 @@ import hashlib
 import json
 import warnings
 from dataclasses import asdict, dataclass, field, fields, replace
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from ..registry import DESIGNS, PATTERNS
 
@@ -54,6 +54,65 @@ def _check_fields(cls, data: Dict[str, Any]) -> None:
 
 
 @dataclass(frozen=True)
+class FaultMapEntry:
+    """One explicit fault assignment inside :attr:`FaultConfig.entries`.
+
+    The Monte-Carlo campaign sampler (:mod:`repro.campaign`) emits these:
+    unlike the percent-driven plan — which *derives* its fault map from
+    ``(seed, percent)`` — an entry pins every attribute of one router's
+    fault, so a sampled map is part of the config proper and therefore of
+    ``config_hash`` (result-cache keys and checkpoint identity).
+
+    ``input_port``/``output_port`` are plain port indices (not
+    :class:`~repro.sim.ports.Port` members, keeping this layer
+    JSON-trivial); both None selects a whole-crossbar fault, both set a
+    single broken crosspoint.  ``manifest_cycle`` may fall anywhere in the
+    run — scheduling it inside the measurement window is the transient
+    "fault during run" scenario.  Detection latency stays a knob of the
+    owning :class:`FaultConfig` (``detection_cycles``), so a BIST sweep
+    does not have to rewrite every entry.
+    """
+
+    node: int
+    crossbar: str = "primary"
+    manifest_cycle: int = 1
+    input_port: Optional[int] = None
+    output_port: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError(f"fault entry node must be >= 0, got {self.node}")
+        if self.crossbar not in ("primary", "secondary"):
+            raise ValueError(
+                f"crossbar must be 'primary' or 'secondary', got {self.crossbar!r}"
+            )
+        if self.manifest_cycle < 0:
+            raise ValueError("manifest_cycle must be >= 0")
+        if (self.input_port is None) != (self.output_port is None):
+            raise ValueError(
+                "input_port and output_port must be set together (crosspoint "
+                "fault) or both omitted (whole-crossbar fault)"
+            )
+        if self.input_port is not None:
+            if not (0 <= self.input_port <= 4):
+                raise ValueError(f"input_port out of range: {self.input_port}")
+            if not (0 <= self.output_port <= 4):
+                raise ValueError(f"output_port out of range: {self.output_port}")
+
+    @property
+    def is_crosspoint(self) -> bool:
+        return self.input_port is not None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultMapEntry":
+        _check_fields(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
 class FaultConfig:
     """Crossbar fault-injection plan (Section II.C / III.E).
 
@@ -65,6 +124,12 @@ class FaultConfig:
     ``granularity`` selects whole-``crossbar`` faults (the paper's
     evaluation) or single broken ``crosspoint`` faults (an extension the
     paper names as the physical fault origin).
+
+    ``entries`` is the explicit alternative to the percent-driven plan: a
+    tuple of :class:`FaultMapEntry` pinning exactly which routers fail,
+    how and when.  Sampled Monte-Carlo fault maps travel this way, so
+    they serialize losslessly and key the result cache like any other
+    config field.  Mutually exclusive with ``percent > 0``.
     """
 
     percent: float = 0.0
@@ -72,6 +137,7 @@ class FaultConfig:
     manifest_window: int = 500
     seed: int = 12345
     granularity: str = "crossbar"
+    entries: Optional[Tuple[FaultMapEntry, ...]] = None
 
     def __post_init__(self) -> None:
         if not (0.0 <= self.percent <= 100.0):
@@ -84,9 +150,55 @@ class FaultConfig:
             raise ValueError(
                 f"granularity must be 'crossbar' or 'crosspoint', got {self.granularity!r}"
             )
+        if self.entries is not None:
+            if len(self.entries) == 0:
+                raise ValueError(
+                    "entries must be a non-empty sequence or None (use the "
+                    "default FaultConfig for a fault-free run)"
+                )
+            coerced = tuple(
+                e if isinstance(e, FaultMapEntry) else FaultMapEntry.from_dict(dict(e))
+                for e in self.entries
+            )
+            object.__setattr__(self, "entries", coerced)
+            if self.percent != 0.0:
+                raise ValueError(
+                    "percent and entries are mutually exclusive: an explicit "
+                    "fault map already fixes the faulty-router set"
+                )
+            nodes = [e.node for e in coerced]
+            if len(set(nodes)) != len(nodes):
+                raise ValueError(f"duplicate nodes in fault entries: {sorted(nodes)}")
+            for e in coerced:
+                if self.granularity == "crosspoint" and not e.is_crosspoint:
+                    raise ValueError(
+                        f"granularity='crosspoint' but the entry for node "
+                        f"{e.node} carries no crosspoint ports"
+                    )
+                if self.granularity == "crossbar" and e.is_crosspoint:
+                    raise ValueError(
+                        f"granularity='crossbar' but the entry for node "
+                        f"{e.node} names a crosspoint"
+                    )
+
+    @property
+    def active(self) -> bool:
+        """True when this config injects any fault at all (percent-driven
+        or explicit entries)."""
+        return self.percent > 0 or self.entries is not None
 
     def to_dict(self) -> Dict[str, Any]:
-        return asdict(self)
+        d = asdict(self)
+        if d["entries"] is None:
+            # Omitted rather than null: keeps the canonical JSON — and so
+            # every pre-existing config_hash, cache key and checkpoint
+            # identity — byte-identical for entry-less configs.
+            del d["entries"]
+        else:
+            # A list, not a tuple: the dict must equal its own JSON round
+            # trip or cache identity checks read stored results as misses.
+            d["entries"] = list(d["entries"])
+        return d
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "FaultConfig":
@@ -204,7 +316,7 @@ class SimConfig:
             raise ValueError("ejection_ports must be >= 1")
         if self.link_latency < 1:
             raise ValueError("link_latency must be >= 1")
-        if self.faults.percent > 0 and not self.spec.supports_faults:
+        if self.faults.active and not self.spec.supports_faults:
             raise ValueError(
                 "crossbar fault injection is defined for the dual-crossbar "
                 "designs only (dxbar_*/unified_*); design "
@@ -233,6 +345,15 @@ class SimConfig:
             return (
                 f"design {self.design!r} has no vectorized kernel "
                 f"(supports_vector=False in its DesignSpec)"
+            )
+        if self.faults.active:
+            # The SoA kernels implement no fault model yet; the diagnostic
+            # names the design and the fault granularity so a campaign log
+            # full of fallbacks is attributable at a glance.
+            return (
+                f"design {self.design!r} carries a fault plan at "
+                f"{self.faults.granularity!r} granularity and the vector "
+                f"kernels support no fault injection"
             )
         if self.telemetry.trace_path or self.telemetry.trace_buffer:
             return (
@@ -298,8 +419,16 @@ class SimConfig:
     # serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """Lossless JSON-serialisable form (nested configs become dicts)."""
-        return asdict(self)
+        """Lossless JSON-serialisable form (nested configs become dicts).
+
+        The faults sub-dict goes through :meth:`FaultConfig.to_dict` rather
+        than bare ``asdict``: it omits an absent ``entries`` key (keeping
+        entry-less config hashes identical to pre-entries builds) and emits
+        present entries in JSON-round-trip-stable form.
+        """
+        d = asdict(self)
+        d["faults"] = self.faults.to_dict()
+        return d
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "SimConfig":

@@ -217,9 +217,17 @@ class Simulator:
 
         telemetry.finish(network, final_cycle)
 
+        fault_plan = getattr(network, "fault_plan", None)
         extra: Dict[str, object] = {
             "pattern": self.config.pattern,
             "fault_percent": self.config.faults.percent,
+            # The realised fault map: explicit-entry plans (Monte-Carlo
+            # campaigns) have percent == 0, so the count/node list is the
+            # only truthful record of how faulty this run actually was.
+            "fault_count": len(fault_plan) if fault_plan is not None else 0,
+            "fault_nodes": (
+                list(fault_plan.faulty_nodes) if fault_plan is not None else []
+            ),
             "active_flits_at_end": network.active_flits,
             "measured_pending_at_end": self.stats.measured_pending,
             "router_counter_totals": counter_totals,

@@ -128,7 +128,7 @@ class Network:
                 router.enable_trace(self.telemetry.trace)
 
     def _apply_faults(self) -> None:
-        if self.config.faults.percent <= 0:
+        if not self.config.faults.active:
             return
         plan = FaultPlan(self.config.faults, self.mesh.num_nodes)
         self.fault_plan = plan

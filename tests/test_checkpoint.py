@@ -246,3 +246,52 @@ class TestFormat:
         path.write_text(json.dumps(payload))
         with pytest.raises(ValueError, match="fault plan does not match"):
             Simulator.resume_from(path)
+
+
+class TestApplyFaultsEdges:
+    """Satellite: ``Network._apply_faults`` edge cases — empty plans,
+    saturation at 100% on both mesh sizes, and explicit sampled maps
+    surviving checkpoint resume bit-exactly."""
+
+    def test_empty_plan_installs_nothing(self):
+        sim = Simulator(tiny(design="dxbar_dor"))
+        assert sim.network.fault_plan is None
+
+    def test_entryless_active_config_installs_plan(self):
+        sim = Simulator(
+            tiny(design="dxbar_dor", faults=FaultConfig(percent=25.0))
+        )
+        assert len(sim.network.fault_plan) == 4
+
+    @pytest.mark.parametrize("k,expected", [(4, 16), (8, 64)])
+    def test_hundred_percent_saturates(self, k, expected):
+        cfg = tiny(design="unified_dor", k=k, faults=FaultConfig(percent=100.0))
+        sim = Simulator(cfg)
+        plan = sim.network.fault_plan
+        assert len(plan) == expected
+        assert plan.faulty_nodes == tuple(range(expected))
+
+    def test_hundred_percent_still_delivers(self):
+        cfg = tiny(design="dxbar_dor", faults=FaultConfig(percent=100.0))
+        result = Simulator(cfg).run()
+        assert result.accepted_load > 0.0  # graceful degradation, not collapse
+
+    def test_explicit_entries_resume_bit_exactly(self, tmp_path):
+        """A sampled fault map (explicit entries, some manifesting inside
+        the measurement window) is part of config identity: resume rebuilds
+        the identical plan and the run completes bit-exactly."""
+        from repro.sim.config import FaultMapEntry
+
+        entries = (
+            FaultMapEntry(node=2, crossbar="primary", manifest_cycle=30),
+            FaultMapEntry(node=7, crossbar="secondary", manifest_cycle=120),
+            FaultMapEntry(node=11, crossbar="primary", manifest_cycle=200),
+        )
+        cfg = tiny(design="unified_dor", faults=FaultConfig(entries=entries))
+        base = base_run(cfg)
+        _, snaps = checkpointed_run(cfg, tmp_path, every=40)
+        assert len(snaps) >= 4
+        for cycle, path in sorted(snaps.items()):
+            resumed = Simulator.resume_from(path)
+            assert resumed.network.fault_plan.faulty_nodes == (2, 7, 11)
+            assert resumed.run().to_dict() == base

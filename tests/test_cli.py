@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -78,3 +80,52 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "Water" in out and "exec cycles" in out
+
+
+class TestCampaignCLI:
+    CAMPAIGN_FLAGS = [
+        "--designs", "dxbar_dor",
+        "--loads", "0.3",
+        "--percents", "0", "100",
+        "--samples", "2",
+        "--seed", "7",
+        "--k", "4",
+        "--warmup", "20",
+        "--measure", "60",
+        "--drain", "40",
+        "--quiet",
+    ]
+
+    def test_run_status_report_cycle(self, tmp_path, capsys):
+        root = str(tmp_path / "camp")
+        assert main(["campaign", "run", root, *self.CAMPAIGN_FLAGS]) == 0
+        out = capsys.readouterr().out
+        assert "dxbar_dor @ load 0.3" in out
+        assert (tmp_path / "camp" / "report.json").exists()
+
+        assert main(["campaign", "status", root]) == 0
+        assert "3/3 jobs" in capsys.readouterr().out
+
+        assert main(["campaign", "report", root, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["jobs_completed"] == 3
+        assert payload["jobs_pending"] == 0
+
+    def test_resume_reuses_the_cache(self, tmp_path, capsys):
+        root = str(tmp_path / "camp")
+        assert main(["campaign", "run", root, *self.CAMPAIGN_FLAGS]) == 0
+        first = (tmp_path / "camp" / "report.json").read_bytes()
+        capsys.readouterr()
+        assert main(["campaign", "run", root, "--resume", "--quiet"]) == 0
+        assert (tmp_path / "camp" / "report.json").read_bytes() == first
+
+    def test_resume_without_manifest_fails(self, tmp_path, capsys):
+        rc = main(["campaign", "run", str(tmp_path / "nope"), "--resume"])
+        assert rc == 1
+        assert "no campaign manifest" in capsys.readouterr().err
+
+    def test_unknown_granularity_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["campaign", "run", str(tmp_path), "--granularity", "wire"]
+            )

@@ -118,3 +118,73 @@ class TestConfigHash:
 
         payload = json.dumps(cfg.to_dict(), sort_keys=True, separators=(",", ":"))
         assert hashlib.sha256(payload.encode()).hexdigest()[:16] == expected
+
+
+class TestFaultMapEntries:
+    """Explicit fault-map entries (the campaign sampler's output) must be
+    first-class config data: lossless round-trips, JSON-stable identity,
+    and no hash perturbation for entry-less configs."""
+
+    def _entries(self):
+        from repro.sim.config import FaultMapEntry
+
+        return (
+            FaultMapEntry(node=2, crossbar="secondary", manifest_cycle=120),
+            FaultMapEntry(node=7, crossbar="primary", manifest_cycle=3),
+        )
+
+    def test_entries_round_trip(self):
+        fc = FaultConfig(detection_cycles=3, entries=self._entries())
+        again = FaultConfig.from_dict(json.loads(json.dumps(fc.to_dict())))
+        assert again == fc
+
+    def test_crosspoint_entries_round_trip_via_simconfig(self):
+        from repro.sim.config import FaultMapEntry
+
+        cfg = SimConfig(
+            design="unified_wf",
+            faults=FaultConfig(
+                granularity="crosspoint",
+                entries=(
+                    FaultMapEntry(
+                        node=5, crossbar="secondary", manifest_cycle=9,
+                        input_port=4, output_port=1,
+                    ),
+                ),
+            ),
+        )
+        again = SimConfig.from_dict(json.loads(json.dumps(cfg.to_dict())))
+        assert again == cfg
+        assert again.config_hash() == cfg.config_hash()
+
+    def test_entryless_config_omits_the_key(self):
+        # Hash stability: pre-entries caches and checkpoints keyed configs
+        # without an "entries" field; absent entries must stay absent.
+        assert "entries" not in FaultConfig().to_dict()
+        assert "entries" not in SimConfig().to_dict()["faults"]
+
+    def test_identity_equals_its_json_round_trip(self):
+        # The result cache compares the stored identity dict against a
+        # freshly computed one; tuples sneaking into to_dict would make
+        # every entries-carrying config a permanent cache miss.
+        cfg = SimConfig(design="dxbar_dor", faults=FaultConfig(entries=self._entries()))
+        d = cfg.to_dict()
+        assert isinstance(d["faults"]["entries"], list)
+        assert json.loads(json.dumps(d)) == d
+
+    def test_entries_change_the_hash(self):
+        from repro.sim.config import FaultMapEntry
+
+        base = SimConfig(design="dxbar_dor")
+        one = base.with_(faults=FaultConfig(entries=(FaultMapEntry(node=1),)))
+        two = base.with_(faults=FaultConfig(entries=(FaultMapEntry(node=2),)))
+        assert len({base.config_hash(), one.config_hash(), two.config_hash()}) == 3
+
+    def test_entries_require_fault_capable_design(self):
+        from repro.sim.config import FaultMapEntry
+
+        with pytest.raises(ValueError, match="dual-crossbar designs only"):
+            SimConfig(
+                design="flit_bless",
+                faults=FaultConfig(entries=(FaultMapEntry(node=0),)),
+            )

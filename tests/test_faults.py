@@ -1,9 +1,12 @@
 """Unit tests for the fault plan and RouterFault semantics."""
 
+import json
+
 import pytest
 
 from repro.core.faults import PRIMARY, SECONDARY, FaultPlan, RouterFault
-from repro.sim.config import FaultConfig
+from repro.sim.config import FaultConfig, FaultMapEntry
+from repro.sim.ports import Port
 
 
 class TestRouterFault:
@@ -89,6 +92,51 @@ class TestFaultPlan:
         plan = FaultPlan(FaultConfig(percent=50), num_routers)
         assert len(plan) == expected
 
+    def test_explicit_entries_install_verbatim(self):
+        cfg = FaultConfig(
+            detection_cycles=4,
+            entries=(
+                FaultMapEntry(node=3, crossbar="secondary", manifest_cycle=7),
+                FaultMapEntry(node=9, crossbar="primary", manifest_cycle=2),
+            ),
+        )
+        plan = FaultPlan(cfg, 16)
+        assert plan.faulty_nodes == (3, 9)
+        f = plan.fault_for(3)
+        assert f.crossbar == SECONDARY
+        assert f.manifest_cycle == 7
+        assert f.detected_cycle == 11  # manifest + detection_cycles
+        assert not f.is_crosspoint
+
+    def test_explicit_crosspoint_entries_become_ports(self):
+        cfg = FaultConfig(
+            granularity="crosspoint",
+            entries=(
+                FaultMapEntry(node=0, crossbar="secondary", input_port=4, output_port=2),
+            ),
+        )
+        f = FaultPlan(cfg, 16).fault_for(0)
+        assert f.is_crosspoint
+        assert f.input_port == Port(4)
+        assert f.output_port == Port(2)
+
+    def test_explicit_entry_node_out_of_range(self):
+        cfg = FaultConfig(entries=(FaultMapEntry(node=16),))
+        with pytest.raises(ValueError, match="out of range"):
+            FaultPlan(cfg, 16)
+
+    def test_primary_crossbar_has_no_injection_input(self):
+        """Input 4 is the injection lane, which only the secondary
+        crossbar has; the mesh-level build must reject it on the primary."""
+        cfg = FaultConfig(
+            granularity="crosspoint",
+            entries=(
+                FaultMapEntry(node=0, crossbar="primary", input_port=4, output_port=0),
+            ),
+        )
+        with pytest.raises(ValueError, match="4 inputs"):
+            FaultPlan(cfg, 16)
+
     def test_counts_monotone_in_percent(self):
         """With half-up rounding the faulty-set size never decreases as the
         percentage grows, on any mesh size — so nestedness (prefix of one
@@ -106,3 +154,102 @@ class TestFaultPlan:
                 )
                 assert prev <= nodes
                 prev = nodes
+
+
+class TestFaultPlanSerialization:
+    """Satellite: FaultPlan ``to_dict``/``from_dict`` round-trips — the
+    contract sampled campaign maps ride on."""
+
+    @pytest.mark.parametrize(
+        "cfg",
+        [
+            FaultConfig(percent=50, seed=9),
+            FaultConfig(percent=75, seed=2, granularity="crosspoint"),
+            FaultConfig(percent=50, seed=3, detection_cycles=9, manifest_window=40),
+            FaultConfig(
+                entries=(
+                    FaultMapEntry(node=1, crossbar="secondary", manifest_cycle=120),
+                    FaultMapEntry(node=9, crossbar="primary", manifest_cycle=3),
+                ),
+            ),
+            FaultConfig(
+                granularity="crosspoint",
+                entries=(
+                    FaultMapEntry(
+                        node=6, crossbar="primary", manifest_cycle=3,
+                        input_port=2, output_port=4,
+                    ),
+                    FaultMapEntry(
+                        node=7, crossbar="secondary", manifest_cycle=40,
+                        input_port=4, output_port=0,
+                    ),
+                ),
+            ),
+        ],
+        ids=[
+            "crossbar-percent", "crosspoint-percent", "bist-window",
+            "entries", "crosspoint-entries",
+        ],
+    )
+    def test_round_trip(self, cfg):
+        plan = FaultPlan(cfg, 16)
+        again = FaultPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+        assert again.num_routers == plan.num_routers
+        assert again.config == plan.config
+        assert again.signature() == plan.signature()
+        for node in plan.faulty_nodes:
+            assert again.fault_for(node) == plan.fault_for(node)
+
+    def test_half_up_rounding_survives_round_trip(self):
+        plan = FaultPlan(FaultConfig(percent=50, seed=1), 9)
+        assert len(plan) == 5  # half-up, not banker's 4
+        assert len(FaultPlan.from_dict(plan.to_dict())) == 5
+
+    def test_signature_drift_detected(self):
+        data = FaultPlan(FaultConfig(percent=50, seed=4), 16).to_dict()
+        node = next(iter(data["signature"]))
+        data["signature"][node]["manifest_cycle"] += 1
+        with pytest.raises(ValueError, match="signature drift"):
+            FaultPlan.from_dict(data)
+
+    def test_signatureless_dict_accepted(self):
+        data = FaultPlan(FaultConfig(percent=25, seed=4), 16).to_dict()
+        del data["signature"]
+        assert len(FaultPlan.from_dict(data)) == 4
+
+
+class TestFaultMapEntryValidation:
+    def test_ports_must_pair(self):
+        with pytest.raises(ValueError, match="together"):
+            FaultMapEntry(node=0, input_port=1)
+
+    def test_port_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            FaultMapEntry(node=0, input_port=5, output_port=0)
+
+    def test_bad_crossbar(self):
+        with pytest.raises(ValueError, match="crossbar"):
+            FaultMapEntry(node=0, crossbar="tertiary")
+
+    def test_percent_and_entries_exclusive(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            FaultConfig(percent=25, entries=(FaultMapEntry(node=0),))
+
+    def test_empty_entries_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            FaultConfig(entries=())
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultConfig(entries=(FaultMapEntry(node=2), FaultMapEntry(node=2)))
+
+    def test_granularity_coherence(self):
+        with pytest.raises(ValueError, match="crosspoint"):
+            FaultConfig(
+                granularity="crosspoint", entries=(FaultMapEntry(node=0),)
+            )
+        with pytest.raises(ValueError, match="crossbar"):
+            FaultConfig(
+                granularity="crossbar",
+                entries=(FaultMapEntry(node=0, input_port=1, output_port=1),),
+            )

@@ -180,3 +180,69 @@ class TestBackendSelection:
         )
         with pytest.warns(RuntimeWarning, match="falling back"):
             assert cfg.resolved_backend() == "object"
+
+
+class TestFaultGatingDiagnostics:
+    """backend='auto' fallback for fault-carrying configs must say *which*
+    design fell back and at *what* fault granularity — a campaign log full
+    of fallbacks has to be attributable without re-running anything."""
+
+    def _faulty_design(self):
+        """A design double that has a vector kernel AND supports faults,
+        so the fault plan itself is the only fallback cause."""
+        from repro.core.dxbar import DXbarRouter
+        from repro.registry import register_design
+
+        register_design(
+            "test_vec_dxbar", DXbarRouter, base="dxbar",
+            supports_faults=True, supports_vector=True,
+        )
+        return "test_vec_dxbar"
+
+    @pytest.mark.parametrize("granularity", ["crossbar", "crosspoint"])
+    def test_fallback_warning_names_design_and_granularity(self, granularity):
+        from repro.registry import DESIGNS
+        from repro.sim.config import FaultConfig
+
+        name = self._faulty_design()
+        try:
+            _FALLBACK_WARNED.clear()
+            cfg = SimConfig(
+                design=name, backend="auto",
+                faults=FaultConfig(percent=50, granularity=granularity),
+            )
+            with pytest.warns(RuntimeWarning) as caught:
+                assert cfg.resolved_backend() == "object"
+            messages = [str(w.message) for w in caught]
+            assert any(
+                f"design '{name}'" in m
+                and f"'{granularity}' granularity" in m
+                and "no fault injection" in m
+                for m in messages
+            ), messages
+        finally:
+            DESIGNS.remove(name)
+            _FALLBACK_WARNED.clear()
+
+    def test_explicit_entries_also_gate_the_vector_backend(self):
+        from repro.registry import DESIGNS
+        from repro.sim.config import ConfigError, FaultConfig, FaultMapEntry
+
+        name = self._faulty_design()
+        try:
+            with pytest.raises(ConfigError, match="no fault injection"):
+                SimConfig(
+                    design=name, backend="vector",
+                    faults=FaultConfig(entries=(FaultMapEntry(node=0),)),
+                )
+        finally:
+            DESIGNS.remove(name)
+
+    def test_fault_free_config_still_vectorizes(self):
+        from repro.registry import DESIGNS
+
+        name = self._faulty_design()
+        try:
+            assert SimConfig(design=name, backend="auto").resolved_backend() == "vector"
+        finally:
+            DESIGNS.remove(name)
