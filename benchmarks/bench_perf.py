@@ -26,8 +26,8 @@ machine-level drift.
 
 ``--compare BASELINE`` additionally regression-gates against a previous
 run's JSON (typically the committed ``BENCH_sim_perf.json``): every
-matched row's active-walk cycles/sec must be at least ``--tolerance``
-times the baseline's.  The tolerance is deliberately loose — absolute
+matched row's active-walk — and, where the baseline has one, vector —
+cycles/sec must be at least ``--tolerance`` times the baseline's.  The tolerance is deliberately loose — absolute
 cycles/sec varies wildly across machines, so this only catches
 collapses, not percent-level drift (the dense-vs-active ratio gate above
 stays the precise one).
@@ -72,6 +72,8 @@ FULL_MATRIX = [
     # per-flit object walk is slowest and whole-population kernels shine.
     ("flit_bless", "UR", 16, 0.1, 2),
     ("buffered4", "UR", 16, 0.1, 2),
+    ("unified_dor", "UR", 8, 0.1, 2),
+    ("unified_dor", "UR", 16, 0.1, 2),
 ]
 
 QUICK_MATRIX = [
@@ -163,8 +165,9 @@ def main(argv=None) -> int:
                     "on any 0.1-offered-load row")
     ap.add_argument("--compare", metavar="BASELINE", default=None,
                     help="regression-gate against a previous run's JSON: "
-                    "exit 1 when any matched row's active cycles/sec falls "
-                    "below tolerance x baseline")
+                    "exit 1 when any matched row's active (or vector, "
+                    "where the baseline has one) cycles/sec falls below "
+                    "tolerance x baseline")
     ap.add_argument("--tolerance", type=float, default=0.5,
                     help="fraction of the baseline's active cycles/sec a "
                     "row must reach under --compare (default: %(default)s)")
@@ -215,10 +218,16 @@ def main(argv=None) -> int:
     print(f"wrote {out}")
 
     if args.check:
+        gated = [r for r in rows if r["offered_load"] == 0.1]
+        if not gated:
+            # A matrix edit (or a custom --quick variant) with no 0.1-load
+            # rows must fail loudly, not pass a gate that matched nothing.
+            print("FAIL: no 0.1-offered-load rows in this matrix; "
+                  "the --check gate matched nothing", file=sys.stderr)
+            return 1
         # 0.85 rather than 1.0: saturated rows (k=16 UR at 0.1) run the two
         # walks at parity, so strict >= 1.0 would gate on machine noise.
-        bad = [r for r in rows
-               if r["offered_load"] == 0.1 and r["speedup"] < 0.85]
+        bad = [r for r in gated if r["speedup"] < 0.85]
         if bad:
             for r in bad:
                 print(
@@ -241,14 +250,26 @@ def main(argv=None) -> int:
             matched += 1
             floor = args.tolerance * base["active_cycles_per_sec"]
             if row["active_cycles_per_sec"] < floor:
-                regressions.append((key, row, base))
-        for key, row, base in regressions:
+                regressions.append((key, "active", row, base))
+            # Gate the vector backend too; rows whose baseline predates
+            # vectorization (null) are skipped, but a design that *had* a
+            # vector kernel and lost it (row null, baseline not) is a
+            # regression — exactly the silent fallback this gate exists
+            # to catch.
+            base_vec = base.get("vector_cycles_per_sec")
+            if base_vec is not None:
+                vec = row["vector_cycles_per_sec"]
+                if vec is None or vec < args.tolerance * base_vec:
+                    regressions.append((key, "vector", row, base))
+        for key, kind, row, base in regressions:
             design, pattern, k, load, ps = key
+            have = row[f"{kind}_cycles_per_sec"]
             print(
                 f"FAIL: {design}/{pattern} k={k} load={load} ps={ps}: "
-                f"active {row['active_cycles_per_sec']:,.0f} c/s < "
-                f"{args.tolerance:.0%} of baseline "
-                f"{base['active_cycles_per_sec']:,.0f} c/s",
+                f"{kind} "
+                + (f"{have:,.0f} c/s" if have is not None else "backend lost (null)")
+                + f" < {args.tolerance:.0%} of baseline "
+                f"{base[f'{kind}_cycles_per_sec']:,.0f} c/s",
                 file=sys.stderr,
             )
         if regressions:

@@ -122,6 +122,19 @@ class FaultMapSampler:
             with np.errstate(divide="ignore"):
                 keys = np.log(self.weights) + rng.gumbel(size=self.num_routers)
             perm = np.argsort(-keys, kind="stable")
+            # Zero-weight routers all carry a log(0) = -inf key, and the
+            # stable argsort leaves that tied tail in ascending node
+            # order — so when ``count`` exceeded the positive-weight
+            # router population, every sample filled the excess with the
+            # same deterministic low-node-first sequence.  Re-permute the
+            # tied tail with a per-sample draw (taken *after* the Gumbel
+            # keys, so positive-weight orderings are unchanged).  The
+            # tail permutation is fixed per sample, so prefixes of the
+            # full ordering remain nested across fault levels.
+            tied = np.isneginf(keys[perm])
+            if int(tied.sum()) > 1:
+                tail = perm[tied]
+                perm[tied] = tail[rng.permutation(len(tail))]
         return tuple(int(n) for n in perm)
 
     def entry_for(self, sample_index: int, node: int) -> FaultMapEntry:

@@ -51,19 +51,23 @@ register_design(
 register_design("buffered8", Buffered8Router, routing="dor", label="Buffered 8")
 register_design(
     "dxbar_dor", DXbarRouter, routing="dor", label="DXbar DOR",
-    base="dxbar", supports_faults=True,
+    base="dxbar", supports_faults=True, supports_vector=True,
+    supports_vector_faults=True,
 )
 register_design(
     "dxbar_wf", DXbarRouter, routing="wf", label="DXbar WF",
-    base="dxbar", supports_faults=True,
+    base="dxbar", supports_faults=True, supports_vector=True,
+    supports_vector_faults=True,
 )
 register_design(
     "unified_dor", UnifiedRouter, routing="dor", label="Unified DOR",
-    base="unified", supports_faults=True,
+    base="unified", supports_faults=True, supports_vector=True,
+    supports_vector_faults=True,
 )
 register_design(
     "unified_wf", UnifiedRouter, routing="wf", label="Unified WF",
-    base="unified", supports_faults=True,
+    base="unified", supports_faults=True, supports_vector=True,
+    supports_vector_faults=True,
 )
 register_design("afc", AFCRouter, routing="adaptive", label="AFC")
 

@@ -158,6 +158,7 @@ class DesignSpec:
     base: Optional[str] = None
     supports_faults: bool = False
     supports_vector: bool = False
+    supports_vector_faults: bool = False
     energy: Any = None
     metadata: Dict[str, Any] = field(default_factory=dict)
 
@@ -177,6 +178,7 @@ def register_design(
     base: Optional[str] = None,
     supports_faults: bool = False,
     supports_vector: bool = False,
+    supports_vector_faults: bool = False,
     energy: Any = None,
     replace: bool = False,
     **metadata: Any,
@@ -202,6 +204,7 @@ def register_design(
             base=base,
             supports_faults=supports_faults,
             supports_vector=supports_vector,
+            supports_vector_faults=supports_vector_faults,
             energy=energy,
             metadata=dict(metadata),
         )

@@ -346,10 +346,10 @@ class SimConfig:
                 f"design {self.design!r} has no vectorized kernel "
                 f"(supports_vector=False in its DesignSpec)"
             )
-        if self.faults.active:
-            # The SoA kernels implement no fault model yet; the diagnostic
-            # names the design and the fault granularity so a campaign log
-            # full of fallbacks is attributable at a glance.
+        if self.faults.active and not self.spec.supports_vector_faults:
+            # This design's SoA kernels implement no fault model; the
+            # diagnostic names the design and the fault granularity so a
+            # campaign log full of fallbacks is attributable at a glance.
             return (
                 f"design {self.design!r} carries a fault plan at "
                 f"{self.faults.granularity!r} granularity and the vector "

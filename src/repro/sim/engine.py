@@ -207,6 +207,16 @@ class Simulator:
             telemetry.finish(network, network.cycle)
             raise
 
+        return self._finalize(final_cycle)
+
+    def _finalize(self, final_cycle: int) -> SimResult:
+        """Close telemetry and assemble the :class:`SimResult` for a run
+        that stopped at ``final_cycle``.  Split out of :meth:`run` so the
+        batched driver (:mod:`repro.sim.vector.batch`) can finish each
+        simulation of a lockstep batch exactly as a solo run would."""
+        network = self.network
+        telemetry = self.telemetry
+        prof = telemetry.profiler
         t_stats = perf_counter()
 
         # Merge the routers' uniform counter dicts (the per-design

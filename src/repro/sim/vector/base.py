@@ -624,7 +624,9 @@ class VectorNetwork:
             "active_flits": self._active_flits,
             "next_packet_id": self._next_packet_id,
             "next_flit_id": self._next_flit_id,
-            "fault_signature": None,
+            "fault_signature": (
+                self.fault_plan.signature() if self.fault_plan is not None else None
+            ),
             "routers": [self._router_state(node) for node in range(self.num_nodes)],
             "links": links,
             "credit_channels": [
@@ -644,10 +646,11 @@ class VectorNetwork:
                 "checkpoint topology does not match this network "
                 f"(k={self.config.k}, design={self.config.design})"
             )
-        if state.get("fault_signature") is not None:
+        want = self.fault_plan.signature() if self.fault_plan is not None else None
+        if state.get("fault_signature") != want:
             raise ValueError(
-                "checkpoint carries a fault plan but the vector backend "
-                "supports fault-free designs only"
+                "checkpoint fault plan does not match the deterministically "
+                "rebuilt plan — refusing to resume into diverged fault state"
             )
         self.cycle = state["cycle"]
         self._active_flits = state["active_flits"]

@@ -1,0 +1,933 @@
+"""Vectorized kernels for the dual-crossbar designs (``dxbar_*`` and
+``unified_*``) — fault plans included.
+
+Unlike the ``flit_bless``/``buffered4`` pilots, the dual-crossbar cycle
+update is control-flow heavy (two crossbar phases, a fairness counter, a
+must-place pre-pass, per-router fault masking, and — for the unified
+variant — a stateful separable allocator), so a pure whole-population
+array formulation would spend more on mask bookkeeping than it saves.
+The kernel here is a *hybrid*: an activity-scheduled scalar walk over the
+struct-of-arrays state.
+
+* Flits live in the shared :class:`~repro.sim.vector.store.FlitStore`;
+  buffered flits are ``(slot, age, dst, deflections)`` tuples in per-port
+  Python lists (the fields every arbitration decision reads, frozen at
+  buffering time exactly as the object walk's ``Flit`` fields are).
+* Only routers with work are visited, in ascending node order with the
+  same mid-step wake merge as ``Network._step_active`` (closed-loop
+  replies join the current walk iff their node has not been passed).
+* Every per-flit side effect (crossbar/link/buffer energy, hops,
+  deflections, buffered events, ejections, network entries, per-node
+  counters) is *recorded* during the walk and *applied* as one batched
+  array operation per class at the end of the cycle.
+
+Bit-exactness follows the four rules in :mod:`repro.sim.vector.base`:
+int counters commute (rule 1); the global ``energy_*_pj`` floats are
+count-pure per accumulator, replayed via ``_seq_add`` (rule 2); a flit
+receives at most one charge pattern per cycle (crossbar→link, or buffer
+alone) and the batch phases apply them in that per-flit order (rule 3);
+ejections are collected in walk order — node ascending, at most one per
+node because LOCAL is a single output port — and processed after the
+crossbar charges they must observe (rule 4).  Closed-loop runs process
+ejections inline at the walk position where the object router would call
+``network.eject``, so ``on_eject`` replies land mid-cycle identically.
+
+Fault plans are the real :class:`~repro.core.faults.FaultPlan` /
+``RouterFault`` objects, rebuilt deterministically from the config just
+as ``Network._apply_faults`` does; the kernels consult ``blocks`` /
+``masks`` / the detection latch with int ports (``Port`` is an
+``IntEnum``, so the comparisons are value-identical).
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...core.allocator import Request, SeparableDualAllocator
+from ...core.crossbar import BUFFERED, BUFFERLESS
+from ...core.faults import FaultPlan
+from ...traffic.generator import Workload
+from ..flit import Flit
+from ..ports import NUM_PORTS, Port
+from .base import CI, CI_DEFLECTIONS, CI_PRIMARY, VectorNetwork
+
+_LOCAL = int(Port.LOCAL)
+_PORTS = tuple(Port)  # int -> Port member
+CI_SECONDARY = CI["secondary_traversals"]
+CI_BUFFERED = CI["buffered_events"]
+CI_FLIPS = CI["fairness_flips"]
+CI_RECONF = CI["fault_reconfigs"]
+
+#: age is tuple position 3 in both incoming items and waiter records
+#: shifted by one (see _collect_waiters); sort keys below pick it out.
+_INC_AGE = 2  # (in_port, slot, age, dst, defl) -> age index
+
+
+def _inc_age(item: Tuple[int, int, int, int, int]) -> int:
+    return item[2]
+
+
+def _waiter_age(w: Tuple[str, int, int, int, int, int]) -> int:
+    return w[3]
+
+
+class VectorDXbarNetwork(VectorNetwork):
+    """SoA implementation of the DXbar dual-crossbar designs."""
+
+    uses_credits = False
+
+    def _design_init(self) -> None:
+        cfg = self.config
+        n = self.num_nodes
+        self.depth = cfg.buffer_depth
+        self.fair_threshold = cfg.fairness_threshold
+        self._nf = len(CI)
+
+        # Per-node FIFOs: {int port: [(slot, age, dst, deflections), ...]}
+        # in ports_of order (== the object router's fifos dict order).
+        self._fifos: List[Dict[int, list]] = [
+            {int(p): [] for p in self.mesh.ports_of(node)} for node in range(n)
+        ]
+        self._dirports: List[Tuple[int, ...]] = [
+            tuple(int(p) for p in self.mesh.ports_of(node)) for node in range(n)
+        ]
+        self._fair_count = [0] * n
+        self._fair_flips = [0] * n
+        self._reconf = [False] * n
+
+        # Fault plan: same deterministic rebuild as Network._apply_faults.
+        self._fault = {}
+        if cfg.faults.active:
+            plan = FaultPlan(cfg.faults, n)
+            self.fault_plan = plan
+            for node in plan.faulty_nodes:
+                self._fault[node] = plan.fault_for(node)
+        self._escalate = cfg.faults.granularity == "crosspoint"
+
+        # Candidate LUTs as int tuples (routing.candidates returns Port
+        # members; the kernels arbitrate on plain ints).
+        self._cands = [
+            [
+                tuple(int(p) for p in self.routing.candidates(cur, dst))
+                for dst in range(n)
+            ]
+            for cur in range(n)
+        ]
+        self._acands = None
+        if self._escalate:
+            from ...routing.adaptive import MinimalAdaptiveRouting
+
+            adapt = MinimalAdaptiveRouting(self.mesh)
+            self._acands = [
+                [
+                    tuple(int(p) for p in adapt.candidates(cur, dst))
+                    for dst in range(n)
+                ]
+                for cur in range(n)
+            ]
+
+        # Latch rank of each link at its destination: the position in the
+        # object router's ``in_links`` insertion order (the edges() scan),
+        # which orders the raw ``incoming`` list the unified freeze branch
+        # consumes.
+        rank = [0] * n
+        lr = np.zeros(self.num_links, dtype=np.int64)
+        for i, (_src, _port, dst) in enumerate(self.mesh.edges()):
+            lr[i] = rank[dst]
+            rank[dst] += 1
+        self._latch_rank = lr
+        self._out_link = self.out_index.tolist()
+
+        # Activity carry: nodes whose next step is not a provable no-op
+        # beyond arrivals/injections (buffered flits, a mid-streak
+        # fairness counter, an unfired fault-detection latch).
+        self._carry = {
+            node for node, f in self._fault.items() if not f.is_crosspoint
+        }
+
+        # Walk state (mirrors Network._step_active's mid-step wake merge).
+        self._in_walk = False
+        self._walk_pos = -1
+        self._walk_order: List[int] = []
+        self._walk_i = 0
+        self._walk_extra: List[int] = []
+
+        # Per-cycle batch accumulators, applied by _flush_cycle.
+        self._xbar_slots: List[int] = []
+        self._ej_slots: List[int] = []
+        self._ej_nodes: List[int] = []
+        self._send_slots: List[int] = []
+        self._send_links: List[int] = []
+        self._buf_slots: List[int] = []
+        self._defl_slots: List[int] = []
+        self._entry_slots: List[int] = []
+        self._entry_nodes: List[int] = []
+        self._cnt_keys: List[int] = []
+
+    # ------------------------------------------------------------------
+    # walk driver
+    # ------------------------------------------------------------------
+    def _step_kernel(self, cycle: int) -> None:
+        st = self.store
+        arr_slots, arr_links = self._take_arrivals(cycle)
+        incoming: Dict[int, list] = {}
+        if len(arr_slots):
+            slots_l = arr_slots.tolist()
+            ages_l = st.age[arr_slots].tolist()
+            dsts_l = st.dst[arr_slots].tolist()
+            defl_l = st.deflections[arr_slots].tolist()
+            nodes_l = self.link_dst[arr_links].tolist()
+            inp_l = self.link_inport[arr_links].tolist()
+            rank_l = self._latch_rank[arr_links].tolist()
+            for i in range(len(slots_l)):
+                incoming.setdefault(nodes_l[i], []).append(
+                    (rank_l[i], inp_l[i], slots_l[i], ages_l[i], dsts_l[i], defl_l[i])
+                )
+
+        cand = set(incoming)
+        if self._q_nonempty:
+            cand |= self._q_nonempty
+        if self._carry:
+            cand |= self._carry
+        if not cand:
+            return
+
+        wl = self.workload
+        closed = wl is not None and type(wl).on_eject is not Workload.on_eject
+
+        order = sorted(cand)
+        extra = self._walk_extra
+        self._walk_order = order
+        self._in_walk = True
+        i = 0
+        n = len(order)
+        faults = self._fault
+        fifos_all = self._fifos
+        reconf = self._reconf
+        fair_count = self._fair_count
+        carry = self._carry
+        try:
+            while True:
+                if extra:
+                    if i < n and order[i] < extra[0]:
+                        node = order[i]
+                        i += 1
+                    else:
+                        node = heapq.heappop(extra)
+                elif i < n:
+                    node = order[i]
+                    i += 1
+                else:
+                    break
+                self._walk_i = i
+                self._walk_pos = node
+                raw = incoming.get(node)
+                if raw is None:
+                    inc: tuple = ()
+                elif len(raw) == 1:
+                    inc = (raw[0][1:],)
+                else:
+                    raw.sort()  # latch order (unique ranks)
+                    inc = tuple(e[1:] for e in raw)
+                self._step_node(node, inc, cycle, closed)
+                # is_idle equivalent (injection queues tracked separately
+                # via _q_nonempty): keep the node on the worklist while it
+                # holds buffered flits, an unfired detection latch, or a
+                # mid-streak fairness counter.
+                fault = faults.get(node)
+                rc = reconf[node]
+                if (
+                    any(fifos_all[node].values())
+                    or (fault is not None and not fault.is_crosspoint and not rc)
+                    or (not rc and fair_count[node] != 0)
+                ):
+                    carry.add(node)
+                else:
+                    carry.discard(node)
+        finally:
+            self._in_walk = False
+            self._walk_pos = -1
+            extra.clear()
+
+        self._flush_cycle(cycle)
+
+    def _mid_step_injected(self, src: int, slots: List[int], was_empty: bool) -> None:
+        # Same rule as Network.wake_router: a closed-loop reply for a node
+        # the ascending walk has not reached yet joins this cycle's walk;
+        # anything else is naturally picked up next cycle via _q_nonempty.
+        if not self._in_walk or src <= self._walk_pos:
+            return
+        order = self._walk_order
+        j = bisect_left(order, src, self._walk_i)
+        if j < len(order) and order[j] == src:
+            return
+        extra = self._walk_extra
+        if src in extra:
+            return
+        heapq.heappush(extra, src)
+
+    def _flush_cycle(self, cycle: int) -> None:
+        """Apply the batched per-flit effects in the bit-exact phase
+        order: crossbar charges, then ejections (which read them), then
+        link hops/charges/pushes, then buffer charges, then the commuting
+        int scatters."""
+        st = self.store
+        if self._xbar_slots:
+            sl = np.array(self._xbar_slots, dtype=np.int64)
+            self._xbar_slots.clear()
+            self._charge_xbar_many(sl)
+        if self._ej_slots:
+            ej = np.array(self._ej_slots, dtype=np.int64)
+            nd = np.array(self._ej_nodes, dtype=np.int64)
+            self._ej_slots.clear()
+            self._ej_nodes.clear()
+            self._process_ejections(ej, nd, cycle)
+        if self._send_slots:
+            sl = np.array(self._send_slots, dtype=np.int64)
+            ln = np.array(self._send_links, dtype=np.int64)
+            self._send_slots.clear()
+            self._send_links.clear()
+            st.hops[sl] += 1
+            self._charge_link_many(sl)
+            self._fly_push(sl, ln, cycle + self.latency)
+        if self._buf_slots:
+            sl = np.array(self._buf_slots, dtype=np.int64)
+            self._buf_slots.clear()
+            st.buffered_events[sl] += 1
+            self._charge_buffer_many(sl)
+        if self._defl_slots:
+            sl = np.array(self._defl_slots, dtype=np.int64)
+            self._defl_slots.clear()
+            st.deflections[sl] += 1
+        if self._entry_slots:
+            self._mark_entries(self._entry_slots, self._entry_nodes, cycle)
+            self._entry_slots = []
+            self._entry_nodes = []
+        if self._cnt_keys:
+            np.add.at(
+                self.counters.reshape(-1),
+                np.array(self._cnt_keys, dtype=np.int64),
+                1,
+            )
+            self._cnt_keys.clear()
+
+    # ------------------------------------------------------------------
+    # per-node replay of DXbarRouter.step
+    # ------------------------------------------------------------------
+    def _step_node(self, node: int, inc: tuple, cycle: int, closed: bool) -> None:
+        fault = self._fault.get(node)
+        if (
+            fault is not None
+            and not fault.is_crosspoint
+            and not self._reconf[node]
+            and cycle >= fault.detected_cycle
+        ):
+            self._reconf[node] = True
+            self._bump(node, CI_RECONF)
+            self.stats.fault_reconfigurations += 1
+        if self._reconf[node]:
+            self._step_degraded(node, inc, cycle, fault, closed)
+            return
+        primary_ok = fault.primary_ok(cycle) if fault is not None else True
+        secondary_ok = fault.secondary_ok(cycle) if fault is not None else True
+        self._step_normal(node, inc, cycle, fault, primary_ok, secondary_ok, closed)
+
+    def _step_normal(
+        self,
+        node: int,
+        inc: tuple,
+        cycle: int,
+        fault,
+        primary_ok: bool,
+        secondary_ok: bool,
+        closed: bool,
+    ) -> None:
+        fifos = self._fifos[node]
+        q = self._inj_q[node]
+        buffered = any(fifos.values())
+        if not inc and not q and not buffered:
+            self._fair_count[node] = 0
+            return
+        waiters = (
+            self._collect_waiters(node, fifos, q)
+            if secondary_ok and (q or buffered)
+            else []
+        )
+        used: set = set()
+        incoming = sorted(inc, key=_inc_age) if len(inc) > 1 else list(inc)
+
+        if not waiters:
+            self._serve_incoming(node, incoming, used, cycle, fault, primary_ok, closed)
+            self._fair_count[node] = 0
+            return
+
+        if self._fair_count[node] >= self.fair_threshold:
+            must, rest = self._split_must_place(node, incoming)
+            incoming_won = self._serve_incoming(
+                node, must, used, cycle, fault, primary_ok, closed
+            )
+            waiter_won = self._serve_waiters(node, waiters, used, cycle, fault, closed)
+            incoming_won |= self._serve_incoming(
+                node, rest, used, cycle, fault, primary_ok, closed
+            )
+            self._note_flip(node)
+        else:
+            incoming_won = self._serve_incoming(
+                node, incoming, used, cycle, fault, primary_ok, closed
+            )
+            waiter_won = self._serve_waiters(node, waiters, used, cycle, fault, closed)
+
+        if waiter_won:
+            self._fair_count[node] = 0
+        elif incoming_won:
+            self._fair_count[node] += 1
+
+    def _step_degraded(
+        self, node: int, inc: tuple, cycle: int, fault, closed: bool
+    ) -> None:
+        fifos = self._fifos[node]
+        waiters = self._collect_waiters(node, fifos, self._inj_q[node])
+        used: set = set()
+        incoming = sorted(inc, key=_inc_age) if len(inc) > 1 else list(inc)
+        must, rest = self._split_must_place(node, incoming)
+        for item in must:
+            in_port, slot, _age, dst, defl = item
+            out = self._pick(node, dst, defl, used, in_port, "secondary", fault, cycle)
+            if out is None:
+                self._deflect(node, slot, used, cycle, in_port, closed)
+            else:
+                used.add(out)
+                self._bump(node, CI_SECONDARY)
+                self._route_flit(node, slot, out, cycle, closed)
+        self._serve_waiters(node, waiters, used, cycle, fault, closed)
+        for item in rest:
+            in_port, slot, age, dst, defl = item
+            self._buffer(node, in_port, slot, age, dst, defl)
+
+    # ------------------------------------------------------------------
+    # building blocks
+    # ------------------------------------------------------------------
+    def _bump(self, node: int, ci: int) -> None:
+        self._cnt_keys.append(node * self._nf + ci)
+
+    def _note_flip(self, node: int) -> None:
+        self._fair_flips[node] += 1
+        self._fair_count[node] = 0
+        self._bump(node, CI_FLIPS)
+        self.stats.fairness_flips += 1
+
+    def _pick(
+        self,
+        node: int,
+        dst: int,
+        defl: int,
+        used: set,
+        in_port: int,
+        crossbar: str,
+        fault,
+        cycle: int,
+    ) -> Optional[int]:
+        if self._escalate and defl >= 4:
+            cands = self._acands[node][dst]
+        else:
+            cands = self._cands[node][dst]
+        if fault is not None and fault.is_crosspoint:
+            for cand in cands:
+                if cand in used:
+                    continue
+                if fault.blocks(crossbar, in_port, cand, cycle):
+                    if cycle >= fault.detected_cycle:
+                        continue  # allocator routes around the known fault
+                    return None  # blind attempt fails this cycle
+                return cand
+            return None
+        for cand in cands:
+            if cand not in used:
+                return cand
+        return None
+
+    def _route_flit(self, node: int, slot: int, out: int, cycle: int, closed: bool) -> None:
+        """Record one crossbar traversal's effects (caller counted the
+        traversal): ejection for LOCAL, link hop otherwise."""
+        if out == _LOCAL:
+            if closed:
+                one = np.array([slot], dtype=np.int64)
+                self._charge_xbar_many(one)
+                self._process_ejections(
+                    one, np.array([node], dtype=np.int64), cycle
+                )
+            else:
+                self._xbar_slots.append(slot)
+                self._ej_slots.append(slot)
+                self._ej_nodes.append(node)
+        else:
+            self._xbar_slots.append(slot)
+            self._send_slots.append(slot)
+            self._send_links.append(self._out_link[node][out])
+
+    def _buffer(self, node: int, in_port: int, slot: int, age: int, dst: int, defl: int) -> None:
+        self._buf_slots.append(slot)
+        self._bump(node, CI_BUFFERED)
+        self._fifos[node][in_port].append((slot, age, dst, defl))
+
+    def _deflect(
+        self, node: int, slot: int, used: set, cycle: int, in_port: int, closed: bool
+    ) -> None:
+        ports = self._dirports[node]
+        k = len(ports)
+        start = (cycle + node) % k
+        fallback = -1
+        for i in range(k):
+            cand = ports[(start + i) % k]
+            if cand in used:
+                continue
+            if cand == in_port:
+                fallback = cand
+                continue
+            used.add(cand)
+            self._defl_slots.append(slot)
+            self._bump(node, CI_DEFLECTIONS)
+            self._route_flit(node, slot, cand, cycle, closed)
+            return
+        if fallback >= 0:
+            used.add(fallback)
+            self._defl_slots.append(slot)
+            self._bump(node, CI_DEFLECTIONS)
+            self._route_flit(node, slot, fallback, cycle, closed)
+            return
+        raise AssertionError(
+            f"router {node}: no deflection port free for an "
+            "unbufferable flit (must-place ordering violated)"
+        )
+
+    def _split_must_place(self, node: int, incoming: list):
+        fifos = self._fifos[node]
+        depth = self.depth
+        must, rest = [], []
+        for item in incoming:
+            (must if len(fifos[item[0]]) >= depth else rest).append(item)
+        return must, rest
+
+    def _collect_waiters(self, node: int, fifos: Dict[int, list], q) -> list:
+        waiters = []
+        for p, lst in fifos.items():
+            if lst:
+                slot, age, dst, defl = lst[0]
+                waiters.append(("fifo", p, slot, age, dst, defl))
+        if q:
+            st = self.store
+            slot = q[0]
+            waiters.append(
+                (
+                    "inj",
+                    _LOCAL,
+                    slot,
+                    int(st.age[slot]),
+                    int(st.dst[slot]),
+                    int(st.deflections[slot]),
+                )
+            )
+        if len(waiters) > 1:
+            waiters.sort(key=_waiter_age)
+        return waiters
+
+    def _serve_incoming(
+        self,
+        node: int,
+        items: list,
+        used: set,
+        cycle: int,
+        fault,
+        primary_ok: bool,
+        closed: bool,
+    ) -> bool:
+        won = False
+        fifos = self._fifos[node]
+        depth = self.depth
+        for item in items:
+            in_port, slot, age, dst, defl = item
+            out = (
+                self._pick(node, dst, defl, used, in_port, "primary", fault, cycle)
+                if primary_ok
+                else None
+            )
+            if out is not None:
+                used.add(out)
+                self._bump(node, CI_PRIMARY)
+                self._route_flit(node, slot, out, cycle, closed)
+                won = True
+            elif len(fifos[in_port]) < depth:
+                self._buffer(node, in_port, slot, age, dst, defl)
+            elif primary_ok:
+                self._deflect(node, slot, used, cycle, in_port, closed)
+                won = True
+            else:
+                # Undetected primary fault with a full FIFO: forced
+                # overfill (the object walk's force_push).
+                self._buffer(node, in_port, slot, age, dst, defl)
+        return won
+
+    def _serve_waiters(
+        self, node: int, waiters: list, used: set, cycle: int, fault, closed: bool
+    ) -> bool:
+        won = False
+        fifos = self._fifos[node]
+        q = self._inj_q[node]
+        for w in waiters:
+            kind, in_port, slot, _age, dst, defl = w
+            out = self._pick(node, dst, defl, used, in_port, "secondary", fault, cycle)
+            if (
+                out is None
+                and fault is not None
+                and fault.is_crosspoint
+                and fault.crossbar == "secondary"
+                and fault.input_port == in_port
+                and cycle >= fault.detected_cycle
+            ):
+                # 2x2 steering: a buffered flit reaches the primary
+                # crossbar when its secondary crosspoint is known dead.
+                out = self._pick(node, dst, defl, used, in_port, "primary", fault, cycle)
+            if out is None:
+                continue
+            used.add(out)
+            if kind == "fifo":
+                popped = fifos[in_port].pop(0)
+                assert popped[0] == slot, "waiter snapshot desynchronised"
+            else:
+                q.popleft()
+                if not q:
+                    self._q_nonempty.discard(node)
+                self._entry_slots.append(slot)
+                self._entry_nodes.append(node)
+            self._bump(node, CI_SECONDARY)
+            self._route_flit(node, slot, out, cycle, closed)
+            won = True
+        return won
+
+    # ------------------------------------------------------------------
+    # introspection overrides
+    # ------------------------------------------------------------------
+    def _buffered_occupancy(self) -> int:
+        return sum(
+            len(lst) for fifos in self._fifos for lst in fifos.values()
+        )
+
+    def _router_occupancy(self, node: int) -> int:
+        return sum(len(lst) for lst in self._fifos[node].values())
+
+    def _router_audit_snapshot(self, node: int) -> Dict[str, List[Flit]]:
+        snap = super()._router_audit_snapshot(node)
+        st = self.store
+        for p, lst in self._fifos[node].items():
+            snap[f"fifo:{_PORTS[p].name}"] = [st.materialize(t[0]) for t in lst]
+        return snap
+
+    def _router_audit_invariants(self, node: int, cycle: int):
+        count = self._fair_count[node]
+        if count > self.fair_threshold:
+            yield (
+                "fairness",
+                f"fairness counter at {count} exceeds threshold "
+                f"{self.fair_threshold} without flipping",
+            )
+        fault = self._fault.get(node)
+        overfill_ok = fault is not None and not fault.is_crosspoint
+        for p, lst in self._fifos[node].items():
+            if len(lst) > self.depth and not overfill_ok:
+                yield (
+                    "design",
+                    f"secondary FIFO {_PORTS[p].name} holds {len(lst)} "
+                    f"flits (depth {self.depth}) with no fault to excuse "
+                    "the overfill",
+                )
+
+    # ------------------------------------------------------------------
+    # checkpointing overrides (object DXbarRouter.state_dict format)
+    # ------------------------------------------------------------------
+    def _router_state(self, node: int) -> Dict[str, Any]:
+        state = super()._router_state(node)
+        st = self.store
+        state["fifos"] = {
+            _PORTS[p].name: {"flits": [st.materialize(t[0]).to_dict() for t in lst]}
+            for p, lst in self._fifos[node].items()
+        }
+        state["fairness"] = {
+            "count": self._fair_count[node],
+            "flips": self._fair_flips[node],
+        }
+        state["reconfigured"] = self._reconf[node]
+        return state
+
+    def _load_router_state(self, node: int, state: Dict[str, Any]) -> None:
+        super()._load_router_state(node, state)
+        st = self.store
+        fifos = self._fifos[node]
+        for lst in fifos.values():
+            lst.clear()
+        for name, s in state["fifos"].items():
+            p = int(Port[name])
+            if p not in fifos:
+                raise ValueError(f"checkpoint FIFO on nonexistent port {name}")
+            lst = fifos[p]
+            for data in s["flits"]:
+                slot = st.intern(data)
+                lst.append(
+                    (
+                        slot,
+                        int(st.age[slot]),
+                        int(st.dst[slot]),
+                        int(st.deflections[slot]),
+                    )
+                )
+        fair = state["fairness"]
+        self._fair_count[node] = fair["count"]
+        self._fair_flips[node] = fair["flips"]
+        self._reconf[node] = state["reconfigured"]
+        fault = self._fault.get(node)
+        if (
+            any(fifos.values())
+            or (fault is not None and not fault.is_crosspoint and not self._reconf[node])
+            or (not self._reconf[node] and self._fair_count[node] != 0)
+        ):
+            self._carry.add(node)
+        else:
+            self._carry.discard(node)
+
+    def _reset_dynamic_state(self) -> None:
+        super()._reset_dynamic_state()
+        for fifos in self._fifos:
+            for lst in fifos.values():
+                lst.clear()
+        n = self.num_nodes
+        self._fair_count[:] = [0] * n
+        self._fair_flips[:] = [0] * n
+        self._reconf[:] = [False] * n
+        self._carry = {
+            node for node, f in self._fault.items() if not f.is_crosspoint
+        }
+        self._walk_extra.clear()
+        for acc in (
+            self._xbar_slots,
+            self._ej_slots,
+            self._ej_nodes,
+            self._send_slots,
+            self._send_links,
+            self._buf_slots,
+            self._defl_slots,
+            self._entry_slots,
+            self._entry_nodes,
+            self._cnt_keys,
+        ):
+            acc.clear()
+
+
+class VectorUnifiedNetwork(VectorDXbarNetwork):
+    """SoA implementation of the unified dual-input-crossbar designs.
+
+    Inherits the DXbar walk, fault handling and degraded mode; only the
+    normal-mode arbitration differs — the paper's separable output-first
+    allocator with the conflict-free swap logic, replayed through the
+    *real* per-node :class:`SeparableDualAllocator` objects so the
+    round-robin pointers and swap totals stay checkpoint-identical.
+    """
+
+    def _design_init(self) -> None:
+        super()._design_init()
+        self._alloc = [
+            SeparableDualAllocator(NUM_PORTS) for _ in range(self.num_nodes)
+        ]
+
+    def _step_normal(
+        self,
+        node: int,
+        inc: tuple,
+        cycle: int,
+        fault,
+        primary_ok: bool,
+        secondary_ok: bool,
+        closed: bool,
+    ) -> None:
+        fifos = self._fifos[node]
+        q = self._inj_q[node]
+
+        # A fault anywhere in the single crossbar freezes traversal until
+        # BIST detection: every arrival is force-buffered in raw latch
+        # order, and the fairness counter is left untouched.
+        if not (primary_ok and secondary_ok):
+            for item in inc:
+                in_port, slot, age, dst, defl = item
+                self._buffer(node, in_port, slot, age, dst, defl)
+            return
+
+        if not inc and not q and not any(fifos.values()):
+            self._fair_count[node] = 0
+            return
+
+        used: set = set()
+        incoming = sorted(inc, key=_inc_age) if len(inc) > 1 else list(inc)
+
+        must, rest = self._split_must_place(node, incoming)
+        incoming_won = self._serve_incoming(node, must, used, cycle, fault, True, closed)
+
+        waiters = self._collect_waiters(node, fifos, q)
+        flip = bool(waiters) and self._fair_count[node] >= self.fair_threshold
+
+        requests: List[Request] = []
+        for item in rest:
+            in_port = item[0]
+            wants = self._wants(node, item[3], item[4], used, in_port, fault, cycle)
+            if wants:
+                requests.append(Request(in_port, BUFFERLESS, item, wants))
+        for w in waiters:
+            kind, in_port = w[0], w[1]
+            wants = self._wants(node, w[4], w[5], used, in_port, fault, cycle)
+            if not wants and self._crosspoint_blocked_all(
+                node, w[4], w[5], in_port, fault, cycle
+            ):
+                wants = self._misroute_wants(node, used, in_port, fault, cycle)
+            if wants:
+                idx = in_port if kind == "fifo" else _LOCAL
+                requests.append(Request(idx, BUFFERED, w, wants))
+
+        grants, swaps = self._alloc[node].allocate(requests, waiters_first=flip)
+        audit = self.routers[node].audit
+        if audit is not None:
+            audit.observe_grants(node, cycle, grants)
+        self.stats.allocator_swaps += swaps
+        if flip:
+            self._note_flip(node)
+
+        granted: set = set()
+        waiter_won = False
+        plain_cands = self._cands[node]
+        for grant in grants:
+            req = grant.request
+            out = int(grant.output)
+            entry = req.flit
+            granted.add(id(entry))
+            if req.lane == BUFFERLESS:
+                in_port, slot, _age, dst, _defl = entry
+            else:
+                kind, in_port, slot, _age, dst, _defl = entry
+            if out not in plain_cands[dst]:
+                self._defl_slots.append(slot)  # crosspoint-forced misroute
+                self._bump(node, CI_DEFLECTIONS)
+            if req.lane == BUFFERLESS:
+                incoming_won = True
+                self._bump(node, CI_PRIMARY)
+            else:
+                if kind == "fifo":
+                    popped = fifos[in_port].pop(0)
+                    assert popped[0] == slot, "waiter snapshot desynchronised"
+                else:
+                    q.popleft()
+                    if not q:
+                        self._q_nonempty.discard(node)
+                    self._entry_slots.append(slot)
+                    self._entry_nodes.append(node)
+                waiter_won = True
+                self._bump(node, CI_SECONDARY)
+            used.add(out)
+            self._route_flit(node, slot, out, cycle, closed)
+
+        for item in rest:
+            if id(item) not in granted:
+                in_port, slot, age, dst, defl = item
+                self._buffer(node, in_port, slot, age, dst, defl)
+
+        if not waiters or waiter_won:
+            self._fair_count[node] = 0
+        elif incoming_won:
+            self._fair_count[node] += 1
+
+    # ------------------------------------------------------------------
+    def _wants(
+        self,
+        node: int,
+        dst: int,
+        defl: int,
+        used: set,
+        in_port: int,
+        fault,
+        cycle: int,
+    ) -> Tuple[Port, ...]:
+        if self._escalate and defl >= 4:
+            cands = self._acands[node][dst]
+        else:
+            cands = self._cands[node][dst]
+        xp = (
+            fault is not None
+            and fault.is_crosspoint
+            and cycle >= fault.manifest_cycle
+            and fault.input_port == in_port
+        )
+        wants = []
+        for c in cands:
+            if c in used:
+                continue
+            if xp and fault.output_port == c:
+                continue
+            wants.append(_PORTS[c])
+        return tuple(wants)
+
+    def _crosspoint_blocked_all(
+        self, node: int, dst: int, defl: int, in_port: int, fault, cycle: int
+    ) -> bool:
+        if fault is None or not fault.is_crosspoint:
+            return False
+        if cycle < fault.manifest_cycle or fault.input_port != in_port:
+            return False
+        if self._escalate and defl >= 4:
+            cands = self._acands[node][dst]
+        else:
+            cands = self._cands[node][dst]
+        return all(c == fault.output_port for c in cands)
+
+    def _misroute_wants(
+        self, node: int, used: set, in_port: int, fault, cycle: int
+    ) -> Tuple[Port, ...]:
+        ports = self._dirports[node]
+        k = len(ports)
+        start = (cycle + node) % k
+        out: List[Port] = []
+        uturn = -1
+        for i in range(k):
+            cand = ports[(start + i) % k]
+            if cand in used:
+                continue
+            if (
+                fault is not None
+                and fault.is_crosspoint
+                and fault.input_port == in_port
+                and fault.output_port == cand
+            ):
+                continue
+            if cand == in_port:
+                uturn = cand
+                continue
+            out.append(_PORTS[cand])
+        if uturn >= 0:
+            out.append(_PORTS[uturn])
+        return tuple(out)
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def _router_state(self, node: int) -> Dict[str, Any]:
+        state = super()._router_state(node)
+        state["allocator"] = self._alloc[node].state_dict()
+        return state
+
+    def _load_router_state(self, node: int, state: Dict[str, Any]) -> None:
+        super()._load_router_state(node, state)
+        self._alloc[node].load_state_dict(state["allocator"])
+
+    def _reset_dynamic_state(self) -> None:
+        super()._reset_dynamic_state()
+        self._alloc = [
+            SeparableDualAllocator(NUM_PORTS) for _ in range(self.num_nodes)
+        ]

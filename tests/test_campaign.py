@@ -133,6 +133,29 @@ class TestFaultMapSampler:
         with pytest.raises(ValueError, match="count"):
             FaultMapSampler(16, seed=1).sample(0, 17)
 
+    def test_zero_weight_tail_varies_across_samples(self):
+        """Zero-weight routers all carry log(0) = -inf Gumbel keys; the
+        tied tail must still be randomized per sample, not appended in a
+        fixed low-node-first sequence shared by every map."""
+        w = [1.0] * 4 + [0.0] * 12
+        s = FaultMapSampler(16, seed=3, weights=w)
+        for i in range(8):
+            # Positive-weight routers always exhaust the leading slots.
+            assert set(s.order(i)[:4]) == {0, 1, 2, 3}
+        tails = {s.order(i)[4:] for i in range(8)}
+        assert len(tails) > 1
+        # Still a pure function of (seed, sample).
+        assert s.order(0) == FaultMapSampler(16, seed=3, weights=w).order(0)
+
+    def test_zero_weight_tail_keeps_prefix_nesting(self):
+        w = [1.0, 1.0] + [0.0] * 14
+        s = FaultMapSampler(16, seed=5, weights=w)
+        prev = set()
+        for count in (1, 4, 9, 16):
+            nodes = {e.node for e in s.sample(2, count)}
+            assert prev <= nodes
+            prev = nodes
+
     def test_unknown_weighting_rejected(self):
         with pytest.raises(ValueError, match="unknown weighting"):
             resolve_weights("corners", 4)
@@ -261,7 +284,10 @@ class TestCampaignDriver:
         victims = sorted((root / "cache").glob("*.json"))[::2]
         for path in victims:
             path.unlink()
-        res = run_campaign(root)
+        # batch=False: this test pins the serial executor's resume
+        # accounting (the batched prewarm would refill the cache first and
+        # turn every outcome into a hit — covered by TestBatchedCampaign).
+        res = run_campaign(root, batch=False)
         assert not res.failures
         executed = [o for o in res.outcomes if not o.cached]
         assert len(executed) == len(victims)
@@ -304,8 +330,10 @@ class TestCampaignDriver:
         assert {p.name for p in (root / "cache").glob("*.json")} == cache_before
 
     def test_journal_events_written(self, tmp_path):
+        # batch=False: "completed" is an executor event; batched jobs
+        # finish in the prewarm pass and reach the journal as cache hits.
         root = tmp_path / "c"
-        run_campaign(root, small_spec(samples=1))
+        run_campaign(root, small_spec(samples=1), batch=False)
         shards = list((root / "journal").glob("*.jsonl"))
         assert shards
         events = [
@@ -321,6 +349,43 @@ class TestCampaignDriver:
         root = tmp_path / "c"
         run_campaign(root, small_spec(samples=1), journal=False)
         assert not (root / "journal").exists()
+
+
+class TestBatchedCampaign:
+    """The batched vector fast path (default-on) must be observationally
+    identical to the serial executor at the report level."""
+
+    def test_batched_report_identical_to_serial(self, tmp_path):
+        spec = small_spec(
+            designs=("dxbar_dor", "unified_dor"), granularity="crosspoint"
+        )
+        run_campaign(tmp_path / "a", spec)  # batch=True is the default
+        run_campaign(tmp_path / "b", spec, batch=False)
+        assert (tmp_path / "a" / "report.json").read_bytes() == (
+            tmp_path / "b" / "report.json"
+        ).read_bytes()
+
+    def test_batched_prewarm_refills_missing_cells(self, tmp_path):
+        root = tmp_path / "c"
+        run_campaign(root, small_spec())
+        want = (root / "report.json").read_bytes()
+        victims = sorted((root / "cache").glob("*.json"))[::2]
+        for path in victims:
+            path.unlink()
+        res = run_campaign(root)
+        assert not res.failures
+        # The prewarm re-ran the missing cells through the batched
+        # kernels, so the executor sees a fully warm cache.
+        assert all(o.cached for o in res.outcomes)
+        assert (root / "report.json").read_bytes() == want
+
+    def test_audit_disables_batching(self, tmp_path):
+        """Audited campaigns take the per-job path (the auditor hooks the
+        solo driver loop) and must still complete."""
+        res = run_campaign(tmp_path / "c", small_spec(samples=1), audit=True)
+        assert not res.failures
+        executed = [o for o in res.outcomes if not o.cached]
+        assert executed  # nothing was prewarmed
 
 
 class TestCampaignPhysics:

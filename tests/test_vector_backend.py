@@ -13,12 +13,16 @@ import warnings
 
 import pytest
 
-from repro.sim.config import ConfigError, SimConfig, _FALLBACK_WARNED
+from repro.sim.config import ConfigError, FaultConfig, SimConfig, _FALLBACK_WARNED
 from repro.sim.engine import Simulator
 from repro.sim.topology import Mesh
 from repro.traffic.splash2 import make_splash2_workload
 
 PILOTED = ["flit_bless", "buffered4"]
+
+#: The paper's dual-crossbar family: vectorized *including* live fault
+#: plans (``supports_vector_faults``), unlike the piloted designs above.
+DUAL_XBAR = ["dxbar_dor", "unified_dor"]
 
 
 def _config(design: str, **overrides) -> SimConfig:
@@ -141,10 +145,145 @@ class TestCheckpointAcrossBackends:
         assert sims[0].state_dict() == sims[1].state_dict()
 
 
+class TestDualCrossbarBitExactness:
+    """The dual-crossbar kernels (fault masks, degraded-mode steering,
+    buffered waiters, allocator arbitration) vs the object routers."""
+
+    @pytest.mark.parametrize("design", DUAL_XBAR)
+    def test_fault_free(self, design):
+        obj, vec = _pair(design)
+        assert obj == vec
+
+    @pytest.mark.parametrize("design", DUAL_XBAR)
+    @pytest.mark.parametrize("granularity", ["crossbar", "crosspoint"])
+    @pytest.mark.parametrize("percent", [25, 100])
+    def test_fault_grid(self, design, granularity, percent):
+        faults = FaultConfig(percent=percent, granularity=granularity)
+        obj, vec = _pair(design, faults=faults)
+        assert obj == vec
+
+    @pytest.mark.parametrize("design", DUAL_XBAR)
+    def test_mid_measurement_transients(self, design):
+        """Faults manifesting inside the measurement window (warmup is 50
+        cycles, manifest window 250) flip routers to degraded mode while
+        measured traffic is in flight."""
+        faults = FaultConfig(
+            percent=50, granularity="crosspoint", manifest_window=250
+        )
+        obj, vec = _pair(design, faults=faults)
+        assert obj == vec
+
+    @pytest.mark.parametrize("design", DUAL_XBAR)
+    @pytest.mark.parametrize("seed", [2, 19])
+    def test_seeds_with_faults(self, design, seed):
+        faults = FaultConfig(percent=50, granularity="crossbar", seed=seed)
+        obj, vec = _pair(design, faults=faults, seed=seed)
+        assert obj == vec
+
+    @pytest.mark.parametrize("design", DUAL_XBAR)
+    def test_audited_faulty_vector_run_is_bit_exact(self, design):
+        faults = FaultConfig(percent=50, granularity="crosspoint")
+        cfg = _config(design, backend="vector", faults=faults)
+        assert _run(cfg, audit=True) == _run(cfg)
+
+
+class TestFaultedCheckpointAcrossBackends:
+    """Checkpoints taken mid-run under a live fault plan stay
+    backend-neutral — including faults that manifest only after the
+    checkpoint cycle."""
+
+    @pytest.mark.parametrize("design", DUAL_XBAR)
+    @pytest.mark.parametrize(
+        "src,dst", [("object", "vector"), ("vector", "object")]
+    )
+    def test_cross_backend_resume_with_faults(self, design, src, dst, tmp_path):
+        # Checkpoint at cycle 120, manifests uniform in [1, 250]: some
+        # faults are live at save time, others strike after resume.
+        faults = FaultConfig(
+            percent=50, granularity="crosspoint", manifest_window=250
+        )
+        golden = _run(_config(design, backend="object", faults=faults))
+        sim = Simulator(_config(design, backend=src, faults=faults))
+        for cycle in range(120):
+            sim.workload.tick(cycle, sim.network)
+            sim.network.step()
+        path = tmp_path / "ckpt.json"
+        sim.save_checkpoint(path)
+        resumed = Simulator.resume_from(
+            path, config=_config(design, backend=dst, faults=faults)
+        )
+        result = resumed.run(check_invariants=True).to_dict()
+        result.get("extra", {}).pop("profile", None)
+        assert result == golden
+
+    @pytest.mark.parametrize("design", DUAL_XBAR)
+    def test_faulted_state_dicts_match(self, design):
+        faults = FaultConfig(percent=100, granularity="crossbar")
+        sims = []
+        for backend in ("object", "vector"):
+            sim = Simulator(_config(design, backend=backend, faults=faults))
+            for cycle in range(150):
+                sim.workload.tick(cycle, sim.network)
+                sim.network.step()
+            sims.append(sim)
+        assert sims[0].state_dict() == sims[1].state_dict()
+
+
+class TestBatchedStepping:
+    """``run_batch`` steps N same-shape simulations in lockstep; each
+    member's SimResult must be byte-identical to running it alone."""
+
+    def test_batch_matches_solo_over_sampled_fault_maps(self):
+        from repro.campaign import CampaignSpec
+        from repro.sim.vector.batch import run_batch
+
+        spec = CampaignSpec(
+            designs=("dxbar_dor",), loads=(0.3,), percents=(0.0, 25.0, 75.0),
+            samples=4, seed=3, k=4, granularity="crosspoint",
+            sim=dict(warmup_cycles=20, measure_cycles=60, drain_cycles=40),
+        )
+        jobs = spec.jobs()
+        assert sum(1 for j in jobs if j.percent > 0) >= 8
+        configs = [j.spec.config.with_(backend="vector") for j in jobs]
+        batched = run_batch(configs, check_invariants=True)
+        for job, cfg, res in zip(jobs, configs, batched):
+            solo = Simulator(cfg).run().to_dict()
+            solo.get("extra", {}).pop("profile", None)
+            got = res.to_dict()
+            got.get("extra", {}).pop("profile", None)
+            assert got == solo, job.spec.tag
+
+    def test_mixed_shapes_rejected(self):
+        from repro.sim.vector.batch import run_batch
+
+        a = _config("dxbar_dor", backend="vector")
+        b = _config("unified_dor", backend="vector")
+        with pytest.raises(ValueError, match="shape"):
+            run_batch([a, b])
+
+    def test_object_backend_rejected(self):
+        from repro.sim.vector.batch import run_batch
+
+        with pytest.raises(ValueError, match="vector kernels"):
+            run_batch([_config("scarab")])
+
+    def test_closed_loop_rejected(self):
+        from repro.sim.vector.batch import run_batch
+
+        with pytest.raises(ValueError, match="open-loop"):
+            run_batch([_config("dxbar_dor", backend="vector", max_cycles=1000)])
+
+    def test_empty_batch_rejected(self):
+        from repro.sim.vector.batch import run_batch
+
+        with pytest.raises(ValueError, match="empty"):
+            run_batch([])
+
+
 class TestBackendSelection:
     def test_explicit_vector_on_unsupported_design_raises(self):
         with pytest.raises(ConfigError, match="auto"):
-            SimConfig(design="dxbar_dor", backend="vector")
+            SimConfig(design="scarab", backend="vector")
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ConfigError):
@@ -156,7 +295,7 @@ class TestBackendSelection:
 
     def test_auto_falls_back_with_warning_once(self):
         _FALLBACK_WARNED.clear()
-        cfg = SimConfig(design="dxbar_dor", backend="auto")
+        cfg = SimConfig(design="scarab", backend="auto")
         with pytest.warns(RuntimeWarning, match="falling back"):
             assert cfg.resolved_backend() == "object"
         with warnings.catch_warnings():
