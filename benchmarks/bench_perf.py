@@ -41,6 +41,7 @@ import platform
 import statistics
 import sys
 import time
+import warnings
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
@@ -128,6 +129,15 @@ def bench_row(design: str, pattern: str, k: int, load: float, ps: int,
     active_cps = statistics.median(active)
     dense_cps = statistics.median(dense)
     vector_cps = statistics.median(vector) if vector else None
+    # What backend="auto" would run for this cell (the vector_min_work
+    # heuristic plus capability gating); recorded so --compare can assert
+    # the heuristic never picks the slower implementation.
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        auto_backend = SimConfig(
+            design=design, k=k, pattern=pattern, offered_load=load,
+            packet_size=ps, backend="auto",
+        ).resolved_backend()
     return {
         "design": design,
         "pattern": pattern,
@@ -147,6 +157,7 @@ def bench_row(design: str, pattern: str, k: int, load: float, ps: int,
         "vector_speedup": (
             round(vector_cps / active_cps, 3) if vector_cps is not None else None
         ),
+        "auto_backend": auto_backend,
     }
 
 
@@ -239,6 +250,32 @@ def main(argv=None) -> int:
         print("check passed: active >= 0.85x dense on every 0.1-load row")
 
     if args.compare:
+        # The auto-backend mis-selection gate: on every row that has both
+        # implementations measured, backend="auto" must have resolved to
+        # the one that is not slower.  Slack on both sides — 0.95 for a
+        # chosen vector kernel, 1.15 for a forgone one — keeps machine
+        # noise near the vector_min_work crossover from flapping the gate
+        # (rows at the crossover run the two backends at parity; the bug
+        # this catches is the 0.4x-speedup class of mis-selection).
+        mispicks = []
+        for row in rows:
+            vs = row["vector_speedup"]
+            if vs is None:
+                continue
+            if row["auto_backend"] == "vector" and vs < 0.95:
+                mispicks.append((row, f"auto picked vector but it runs at "
+                                 f"{vs:.2f}x the active walk"))
+            elif row["auto_backend"] == "object" and vs > 1.15:
+                mispicks.append((row, f"auto kept the object walk but the "
+                                 f"vector kernel runs at {vs:.2f}x"))
+        for row, why in mispicks:
+            print(
+                f"FAIL: {row['design']}/{row['pattern']} k={row['k']} "
+                f"load={row['offered_load']}: {why}",
+                file=sys.stderr,
+            )
+        if mispicks:
+            return 1
         regressions = []
         matched = 0
         for row in rows:

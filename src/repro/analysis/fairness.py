@@ -10,7 +10,7 @@ center-vs-edge throughput ratio, for any finished simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..sim.engine import Simulator
 from ..sim.config import SimConfig
@@ -68,7 +68,7 @@ def injection_fairness(sim: Simulator, ring: int = 2) -> FairnessReport:
 def fairness_ablation(
     load: float = 0.5,
     thresholds: Sequence[int] = (1, 4, 1_000_000),
-    base: SimConfig = None,
+    base: Optional[SimConfig] = None,
 ) -> dict:
     """Run DXbar at ``load`` with different fairness thresholds and report
     the per-node injection fairness of each (threshold 1e6 ~= counter off)."""

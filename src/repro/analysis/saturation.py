@@ -1,0 +1,87 @@
+"""Saturation-summary analytics: the per-design table over a finished
+(or still-running) saturation search.
+
+The raw material is ``<root>/saturation.json`` written by
+:func:`repro.runner.saturation.run_saturation`; these helpers flatten it
+into rows — saturation load, latency at the knee, and the fraction of the
+analytic channel capacity each design reaches — for the figure drivers
+and the ``repro saturate`` CLI.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from ..designs import DESIGN_LABELS
+from ..runner.saturation import load_report
+from .report import render_table
+
+SummarySource = Union[str, Path, Dict[str, Any]]
+
+
+def _payload(source: SummarySource) -> Dict[str, Any]:
+    if isinstance(source, dict):
+        return source
+    return load_report(source)
+
+
+def saturation_summary(source: SummarySource) -> List[Dict[str, Any]]:
+    """One row per design of the search: design, label, status, analytic
+    capacity, saturation load, % of capacity reached, latency and
+    accepted throughput at the knee.
+
+    ``source`` is a search directory (or its ``saturation.json`` payload
+    already loaded).  Rows keep the spec's design order — the paper's
+    plotting order when the spec used it.
+    """
+    payload = _payload(source)
+    rows = []
+    for e in payload["designs"]:
+        design = e["design"]
+        rows.append(
+            {
+                "design": design,
+                "label": DESIGN_LABELS.get(design, design),
+                "status": e["status"],
+                "capacity": e["capacity"],
+                "saturation_load": e["saturation_load"],
+                "capacity_fraction": e["capacity_fraction"],
+                "latency_at_knee": e["latency_at_knee"],
+                "accepted_at_knee": e["accepted_at_knee"],
+                "error": e.get("error"),
+            }
+        )
+    return rows
+
+
+def render_saturation(source: SummarySource) -> str:
+    """The saturation summary as an aligned monospace table."""
+    payload = _payload(source)
+    rows = []
+    for r in saturation_summary(payload):
+        frac = r["capacity_fraction"]
+        rows.append(
+            [
+                r["label"],
+                r["status"],
+                r["capacity"],
+                r["saturation_load"] if r["saturation_load"] is not None else "-",
+                f"{frac:.1%}" if frac is not None else "-",
+                (
+                    r["latency_at_knee"]
+                    if r["latency_at_knee"] is not None
+                    else "-"
+                ),
+            ]
+        )
+    title = (
+        f"== saturation search {payload['search_id']} "
+        f"({payload['completed']}/{payload['total']} designs done) =="
+    )
+    body = render_table(
+        ["design", "status", "capacity", "saturation", "% of capacity",
+         "knee latency"],
+        rows,
+    )
+    return f"{title}\n{body}"

@@ -8,7 +8,7 @@ path keeps its energy advantage as the network grows.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..sim.config import SimConfig
 from ..sim.engine import run_simulation
@@ -20,7 +20,7 @@ def scaling_study(
     designs: Sequence[str] = ("buffered4", "dxbar_dor", "flit_bless"),
     radices: Sequence[int] = (4, 6, 8, 10),
     offered_load: float = 0.15,
-    base: SimConfig = None,
+    base: Optional[SimConfig] = None,
 ) -> Dict[str, FigureResult]:
     """Run every design at every mesh radix; returns latency and energy
     figures keyed ``"latency"`` and ``"energy"``.

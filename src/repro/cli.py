@@ -5,6 +5,7 @@ Run as ``python -m repro <command>``:
 * ``run`` — one simulation, printing the result summary;
 * ``sweep`` — an offered-load sweep for one or more designs;
 * ``figure`` — regenerate one of the paper's tables/figures;
+* ``saturate`` — adaptive per-design saturation-point search;
 * ``splash`` — run one SPLASH-2 trace across designs;
 * ``status`` / ``tail`` — inspect a fleet run journal (one-shot summary
   / live follow of a running campaign);
@@ -36,6 +37,9 @@ Examples::
     python -m repro run --design unified_wf --faults 100 --audit
     python -m repro sweep --designs dxbar_dor buffered8 --loads 0.1 0.3 0.5 --jobs 4
     python -m repro sweep --jobs 4 --journal runs/journal
+    python -m repro saturate --design dxbar_dor --pattern UR -k 8
+    python -m repro saturate --root sat-all --design dxbar_dor unified_dor \
+        --jobs 4 --speculation 3
     python -m repro status runs/journal
     python -m repro tail runs/journal --follow
     python -m repro figure fig5 --scale quick --jobs 4 --cache-dir .repro-cache
@@ -402,10 +406,19 @@ def cmd_splash(args) -> int:
     return 0
 
 
+def _journal_path(path: Path) -> Path:
+    """Resolve a journal argument: a campaign/saturation directory with a
+    ``journal/`` subdirectory means the journal inside it — so
+    ``repro status <root>`` works on service directories directly."""
+    if path.is_dir() and (path / "journal").is_dir():
+        return path / "journal"
+    return path
+
+
 def cmd_status(args) -> int:
     from .obs import campaign_status, fleet_metrics, merge_journal, render_status
 
-    path = Path(args.journal)
+    path = _journal_path(Path(args.journal))
     if not path.exists():
         print(f"repro status: no journal at {path}", file=sys.stderr)
         return 1
@@ -424,7 +437,7 @@ def cmd_tail(args) -> int:
 
     from .obs import campaign_status, merge_journal, render_tail
 
-    path = Path(args.journal)
+    path = _journal_path(Path(args.journal))
     if not path.exists() and not args.follow:
         print(f"repro tail: no journal at {path}", file=sys.stderr)
         return 1
@@ -436,6 +449,75 @@ def cmd_tail(args) -> int:
             return 0
         _time.sleep(args.interval)
         print()
+
+
+def cmd_saturate(args) -> int:
+    from .analysis.saturation import render_saturation
+    from .runner.saturation import SaturationError, SaturationSpec, run_saturation
+
+    if args.resume:
+        spec = None
+    else:
+        sim = {}
+        if args.warmup is not None:
+            sim["warmup_cycles"] = args.warmup
+        if args.measure is not None:
+            sim["measure_cycles"] = args.measure
+        if args.drain is not None:
+            sim["drain_cycles"] = args.drain
+        if args.packet_size is not None:
+            sim["packet_size"] = args.packet_size
+        try:
+            spec = SaturationSpec(
+                designs=tuple(args.design),
+                k=args.k,
+                pattern=args.pattern,
+                criterion=args.criterion,
+                threshold=args.threshold,
+                latency_factor=args.latency_factor,
+                tolerance=args.tolerance,
+                min_load=args.min_load,
+                max_load=args.max_load,
+                seed=args.seed,
+                max_widenings=args.max_widenings,
+                sim=sim,
+            )
+        except ValueError as exc:
+            print(f"repro saturate: {exc}", file=sys.stderr)
+            return 1
+
+    progress = None
+    if not args.quiet:
+        def progress(done, total, outcome):
+            if done == total:
+                print(f"saturate: probe round finished ({total} probes)",
+                      file=sys.stderr)
+
+    try:
+        run = run_saturation(
+            args.root,
+            spec,
+            jobs=args.jobs,
+            speculation=args.speculation,
+            retries=args.retries,
+            job_timeout=args.job_timeout,
+            audit=_audit_from(args),
+            journal=not args.no_journal,
+            progress=progress,
+        )
+    except SaturationError as exc:
+        print(f"repro saturate: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(run.payload, sort_keys=True))
+    else:
+        print(render_saturation(run.payload))
+        if run.failures:
+            print(f"\n{len(run.failures)} design search(es) failed:",
+                  file=sys.stderr)
+            for design, error in run.failures:
+                print(f"  {design}: {error}", file=sys.stderr)
+    return 1 if run.failures else 0
 
 
 def cmd_campaign_run(args) -> int:
@@ -624,6 +706,63 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lines", type=int, default=10, metavar="N",
                    help="recent non-heartbeat events to show (default 10)")
     p.set_defaults(func=cmd_tail)
+
+    p = sub.add_parser(
+        "saturate",
+        help="adaptive saturation-point search (repro.runner.saturation)",
+    )
+    p.add_argument("--root", default="saturation-run", metavar="DIR",
+                   help="search directory (manifest/cache/journal/report; "
+                        "default: %(default)s)")
+    p.add_argument("--resume", action="store_true",
+                   help="reload the spec from the directory's manifest, "
+                        "ignoring the search flags below")
+    g = p.add_argument_group("search")
+    g.add_argument("--design", nargs="+", default=["dxbar_dor"],
+                   choices=design_names(),
+                   help="designs to search (default: dxbar_dor)")
+    g.add_argument("-k", "--k", type=int, default=8, help="mesh radix")
+    g.add_argument("--pattern", default="UR", choices=pattern_names())
+    g.add_argument("--criterion", default="accepted",
+                   choices=["accepted", "latency"],
+                   help="stability criterion: accepted-vs-offered divergence "
+                        "or latency blow-up past the bracket's low edge")
+    g.add_argument("--threshold", type=float, default=0.95,
+                   help="accepted criterion: stable while accepted >= "
+                        "threshold * offered (default 0.95)")
+    g.add_argument("--latency-factor", type=float, default=4.0,
+                   help="latency criterion: stable while flit latency <= "
+                        "factor * low-edge latency (default 4.0)")
+    g.add_argument("--tolerance", type=float, default=0.02,
+                   help="bracket width the search narrows to, in "
+                        "flits/node/cycle (default 0.02)")
+    g.add_argument("--min-load", type=float, default=0.02)
+    g.add_argument("--max-load", type=float, default=1.0)
+    g.add_argument("--seed", type=int, default=1, help="probe traffic seed")
+    g.add_argument("--max-widenings", type=int, default=2, metavar="N",
+                   help="bracket widenings to try against non-monotone "
+                        "measurements before reporting the design failed")
+    g.add_argument("--warmup", type=int, default=None)
+    g.add_argument("--measure", type=int, default=None)
+    g.add_argument("--drain", type=int, default=None)
+    g.add_argument("--packet-size", type=int, default=None)
+    g = p.add_argument_group("execution")
+    g.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes (1 = serial)")
+    g.add_argument("--speculation", type=int, default=0, metavar="N",
+                   help="extra speculative dyadic probes per bisection "
+                        "round; keeps a pool of N+1 workers full without "
+                        "changing the result (default 0)")
+    g.add_argument("--retries", type=int, default=2, metavar="N")
+    g.add_argument("--job-timeout", type=float, default=None, metavar="SEC")
+    g.add_argument("--no-journal", action="store_true",
+                   help="skip the run journal under <root>/journal")
+    g.add_argument("--quiet", action="store_true",
+                   help="suppress progress lines on stderr")
+    _add_audit_args(p)
+    p.add_argument("--json", action="store_true",
+                   help="print the saturation.json payload as one JSON object")
+    p.set_defaults(func=cmd_saturate)
 
     p = sub.add_parser(
         "campaign",

@@ -39,9 +39,14 @@ from .sim.topology import Mesh
 
 # Registration order is the CLI listing order; the paper's six designs
 # first, then the routed unified variants and the AFC extension.
+# vector_min_work thresholds come from benchmarks/bench_perf.py sweeps of
+# the committed baseline: below k**2 * offered_load of the given value the
+# SoA kernel's fixed per-cycle cost loses to the active object walk, which
+# skips idle routers entirely.  Buffered designs have no idle-skip
+# advantage, so their kernels win at any load (threshold None).
 register_design(
     "flit_bless", BlessRouter, routing="adaptive", label="Flit-Bless",
-    supports_vector=True,
+    supports_vector=True, vector_min_work=10.0,
 )
 register_design("scarab", ScarabRouter, routing="adaptive", label="SCARAB")
 register_design(
@@ -52,22 +57,22 @@ register_design("buffered8", Buffered8Router, routing="dor", label="Buffered 8")
 register_design(
     "dxbar_dor", DXbarRouter, routing="dor", label="DXbar DOR",
     base="dxbar", supports_faults=True, supports_vector=True,
-    supports_vector_faults=True,
+    supports_vector_faults=True, vector_min_work=12.0,
 )
 register_design(
     "dxbar_wf", DXbarRouter, routing="wf", label="DXbar WF",
     base="dxbar", supports_faults=True, supports_vector=True,
-    supports_vector_faults=True,
+    supports_vector_faults=True, vector_min_work=12.0,
 )
 register_design(
     "unified_dor", UnifiedRouter, routing="dor", label="Unified DOR",
     base="unified", supports_faults=True, supports_vector=True,
-    supports_vector_faults=True,
+    supports_vector_faults=True, vector_min_work=16.0,
 )
 register_design(
     "unified_wf", UnifiedRouter, routing="wf", label="Unified WF",
     base="unified", supports_faults=True, supports_vector=True,
-    supports_vector_faults=True,
+    supports_vector_faults=True, vector_min_work=16.0,
 )
 register_design("afc", AFCRouter, routing="adaptive", label="AFC")
 

@@ -159,6 +159,11 @@ class DesignSpec:
     supports_faults: bool = False
     supports_vector: bool = False
     supports_vector_faults: bool = False
+    #: Minimum expected flits-in-flight per cycle (``k**2 * offered_load``)
+    #: below which the design's vector kernel is *slower* than the active
+    #: object walk; ``backend="auto"`` resolves to ``object`` under it.
+    #: ``None`` means the kernel wins at any load (or was never profiled).
+    vector_min_work: Optional[float] = None
     energy: Any = None
     metadata: Dict[str, Any] = field(default_factory=dict)
 
@@ -179,6 +184,7 @@ def register_design(
     supports_faults: bool = False,
     supports_vector: bool = False,
     supports_vector_faults: bool = False,
+    vector_min_work: Optional[float] = None,
     energy: Any = None,
     replace: bool = False,
     **metadata: Any,
@@ -205,6 +211,7 @@ def register_design(
             supports_faults=supports_faults,
             supports_vector=supports_vector,
             supports_vector_faults=supports_vector_faults,
+            vector_min_work=vector_min_work,
             energy=energy,
             metadata=dict(metadata),
         )

@@ -10,7 +10,7 @@ load and is used by tests to sanity-check simulated saturation points.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..sim.ports import Port
 from ..sim.topology import Mesh
@@ -21,7 +21,7 @@ Channel = Tuple[int, Port]  # (source node, output port)
 
 
 def channel_loads(
-    pattern, mesh: Mesh, routing: RoutingFunction = None
+    pattern, mesh: Mesh, routing: Optional[RoutingFunction] = None
 ) -> Dict[Channel, float]:
     """Expected per-channel load (flits/cycle) at unit injection rate.
 
@@ -43,12 +43,17 @@ def channel_loads(
     return dict(loads)
 
 
-def max_channel_load(pattern, mesh: Mesh, routing: RoutingFunction = None) -> float:
+def max_channel_load(
+    pattern, mesh: Mesh, routing: Optional[RoutingFunction] = None
+) -> float:
     """Load on the most-congested channel at unit injection rate."""
     loads = channel_loads(pattern, mesh, routing)
     return max(loads.values()) if loads else 0.0
 
-def channel_capacity(pattern, mesh: Mesh, routing: RoutingFunction = None) -> float:
+
+def channel_capacity(
+    pattern, mesh: Mesh, routing: Optional[RoutingFunction] = None
+) -> float:
     """Channel-limited capacity in flits/node/cycle.
 
     The value is per *injecting* node: sources whose permutation maps to

@@ -9,15 +9,27 @@ semantics.  See docs/architecture.md for the layer map.
 
 from .cache import ResultCache
 from .executor import RunOutcome, execute_spec, run_configs, run_specs
+from .saturation import (
+    SaturationError,
+    SaturationRun,
+    SaturationSpec,
+    run_saturation,
+    saturation_progress,
+)
 from .spec import RunSpec, derived_seed, materialize_workload
 
 __all__ = [
     "ResultCache",
     "RunOutcome",
     "RunSpec",
+    "SaturationError",
+    "SaturationRun",
+    "SaturationSpec",
     "derived_seed",
     "execute_spec",
     "materialize_workload",
     "run_configs",
+    "run_saturation",
     "run_specs",
+    "saturation_progress",
 ]

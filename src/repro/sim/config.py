@@ -366,14 +366,24 @@ class SimConfig:
 
         ``object`` and ``vector`` resolve to themselves (validation already
         guaranteed vector support); ``auto`` picks ``vector`` when the
-        design has a kernel and no per-flit tracing is requested, else
-        falls back to ``object`` with one :class:`RuntimeWarning` per
-        (design, cause) per process.
+        design has a kernel, no per-flit tracing is requested *and* the
+        expected work rate ``k**2 * offered_load`` clears the design's
+        profiled ``vector_min_work`` threshold — under it, the active
+        object walk skips idle routers and beats the kernel's fixed
+        per-cycle cost, so ``auto`` quietly keeps the object backend (a
+        performance choice, not a capability gap: no warning).  Capability
+        fallbacks still warn once per (design, cause) per process.
         """
         if self.backend != "auto":
             return self.backend
         reason = self._vector_unsupported_reason()
         if reason is None:
+            min_work = self.spec.vector_min_work
+            if (
+                min_work is not None
+                and self.k * self.k * self.offered_load < min_work
+            ):
+                return "object"
             return "vector"
         key = (self.design, reason)
         if key not in _FALLBACK_WARNED:

@@ -321,6 +321,51 @@ class TestBackendSelection:
             assert cfg.resolved_backend() == "object"
 
 
+class TestAutoBackendWorkHeuristic:
+    """backend='auto' must pick the *faster* backend, not merely a legal
+    one: below a design's ``vector_min_work`` (k^2 x offered load, the
+    expected flits in flight per cycle) the object walk wins and auto
+    must take it — silently, because nothing is missing, this is a pure
+    performance choice."""
+
+    def test_low_work_resolves_to_object_without_warning(self):
+        # dxbar_dor: vector_min_work=12; k=4 @ 0.3 -> work 4.8.
+        cfg = _config("dxbar_dor", backend="auto", k=4, offered_load=0.3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cfg.resolved_backend() == "object"
+
+    def test_high_work_resolves_to_vector(self):
+        # k=8 @ 0.3 -> work 19.2, above every dual-crossbar threshold.
+        cfg = _config("dxbar_dor", backend="auto", k=8, offered_load=0.3)
+        assert cfg.resolved_backend() == "vector"
+
+    def test_threshold_is_strict(self):
+        # Exactly at the threshold the vector kernel already pays off.
+        spec_min = 12.0  # dxbar_dor's registered vector_min_work
+        load = spec_min / 16  # k=4 -> work == threshold
+        cfg = _config("dxbar_dor", backend="auto", k=4, offered_load=load)
+        assert cfg.resolved_backend() == "vector"
+
+    def test_explicit_vector_bypasses_heuristic(self):
+        cfg = _config("dxbar_dor", backend="vector", k=4, offered_load=0.05)
+        assert cfg.resolved_backend() == "vector"
+
+    def test_design_without_threshold_always_vectorizes(self):
+        # buffered4 registers no vector_min_work: auto -> vector at any load.
+        cfg = _config("buffered4", backend="auto", k=4, offered_load=0.05)
+        assert cfg.resolved_backend() == "vector"
+
+    def test_registry_thresholds_cover_the_dual_crossbar_family(self):
+        from repro.registry import DESIGNS
+
+        for name in ("dxbar_dor", "dxbar_wf", "unified_dor", "unified_wf",
+                     "flit_bless"):
+            assert DESIGNS.get(name).vector_min_work is not None
+        for name in ("buffered4", "buffered8", "scarab", "afc"):
+            assert DESIGNS.get(name).vector_min_work is None
+
+
 class TestFaultGatingDiagnostics:
     """backend='auto' fallback for fault-carrying configs must say *which*
     design fell back and at *what* fault granularity — a campaign log full
